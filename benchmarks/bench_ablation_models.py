@@ -1,0 +1,208 @@
+"""Ablation benches for the simulator's design choices (DESIGN.md §5).
+
+The paper distinguishes itself from prior simulators by (a) modelling
+network contention at all ("unlike other simulators which ... assume that
+network contention is inexistent") and (b) charging CPU time for
+communication handling.  These benches quantify what each model component
+buys on the comm-heavy 8-node LU run:
+
+* ``analytic``   — drop contention entirely (MPI-SIM/COMPASS assumption),
+* ``maxmin``     — replace the paper's equal-share law by max-min fairness,
+* ``free-comm``  — communications cost no CPU,
+* flow-control credit sweep — how the FC limit shapes the running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from _common import SEED, lu_cfg, platform_for
+from repro.analysis.tables import ascii_table
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.costs import LUCostModel
+from repro.cpumodel.commcost import FREE_COMMUNICATION
+from repro.netmodel.analytic import AnalyticNetwork
+from repro.netmodel.maxmin import MaxMinStarNetwork
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+R = 162  # fine granularity: communication matters most here
+
+
+def _predict(platform, cfg, network_factory=None):
+    sim = DPSSimulator(
+        platform,
+        CostModelProvider(LUCostModel(platform.machine, cfg.r)),
+        network_factory=network_factory,
+    )
+    return sim.run(LUApplication(cfg)).predicted_time
+
+
+def test_ablation_network_and_cpu_models(benchmark):
+    cfg = lu_cfg(R, nodes=8, threads=8, pipelined=True)
+    platform = platform_for(8)
+    results = {}
+
+    def run():
+        measured = TestbedExecutor(
+            VirtualCluster(num_nodes=8, seed=SEED), run_kernels=False
+        ).run(LUApplication(cfg))
+        results["measured"] = measured.measured_time
+        results["paper model"] = _predict(platform, cfg)
+        results["analytic (no contention)"] = _predict(
+            platform, cfg, network_factory=AnalyticNetwork
+        )
+        results["max-min fairness"] = _predict(
+            platform, cfg, network_factory=MaxMinStarNetwork
+        )
+        results["free communication CPU"] = _predict(
+            replace(platform, comm_cost=FREE_COMMUNICATION), cfg
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    measured = results["measured"]
+    rows = [
+        (name, f"{value:.1f}", f"{(value - measured) / measured * 100:+.1f}%")
+        for name, value in results.items()
+    ]
+    print()
+    print(
+        ascii_table(
+            ["Model", "Time [s]", "vs measured"],
+            rows,
+            title=f"Ablation — model components on P r={R}, 8 nodes",
+        )
+    )
+
+    full = results["paper model"]
+    # The paper's full model is the most accurate of the ablations.
+    for name in ("analytic (no contention)", "free communication CPU"):
+        assert abs(full - measured) <= abs(results[name] - measured) + 1e-9
+    # Ignoring contention underpredicts on this comm-heavy configuration.
+    assert results["analytic (no contention)"] < full
+    # Max-min predicts faster communication than equal share (leftover
+    # bandwidth is redistributed) — also an underprediction here.
+    assert results["max-min fairness"] <= full + 1e-9
+    # Communication CPU cost is a real component of the running time.
+    assert results["free communication CPU"] < full
+
+
+def test_ablation_flow_control_sweep(benchmark):
+    """FC credit limit: a sweet spot between starvation and queue flooding."""
+    platform = platform_for(8)
+    limits = [1, 2, 4, 8, 16, 32, None]
+    times = {}
+
+    def run():
+        for limit in limits:
+            cfg = lu_cfg(R, nodes=8, threads=8, pipelined=True, fc=limit)
+            times[limit] = _predict(platform, cfg)
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (str(limit) if limit else "off", f"{t:.1f}") for limit, t in times.items()
+    ]
+    print()
+    print(
+        ascii_table(
+            ["FC credit limit", "Predicted time [s]"],
+            rows,
+            title=f"Ablation — flow-control credits on P r={R}, 8 nodes",
+        )
+    )
+    # Starving the pipeline with one credit is the worst setting.
+    best = min(times.values())
+    assert times[1] > best
+    # Some finite limit is at least as good as no flow control (Fig. 6's
+    # interleaving argument).
+    finite_best = min(t for limit, t in times.items() if limit is not None)
+    assert finite_best <= times[None] * 1.02
+
+
+def test_ablation_pdexec_calibration_samples(benchmark):
+    """More benchmark samples -> better PDEXEC rate factors -> lower error."""
+    from repro.apps.lu.costs import benchmark_rate_factors
+    from repro.testbed.noise import DEFAULT_KERNEL_BIAS
+
+    platform = platform_for(8)
+    cfg = lu_cfg(216, nodes=8, threads=8)
+    errors = {}
+
+    def run():
+        measured = TestbedExecutor(
+            VirtualCluster(num_nodes=8, seed=SEED), run_kernels=False
+        ).run(LUApplication(cfg)).measured_time
+        for samples in (1, 5, 25):
+            factors = benchmark_rate_factors(
+                platform.machine, cfg.r, samples=samples, seed=11
+            )
+            model = LUCostModel(
+                platform.machine, cfg.r, rate_factors=factors
+            )
+            sim = DPSSimulator(platform, CostModelProvider(model))
+            predicted = sim.run(LUApplication(cfg)).predicted_time
+            errors[samples] = abs(predicted - measured) / measured
+        return errors
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(str(s), f"{e * 100:.2f}%") for s, e in errors.items()]
+    print()
+    print(
+        ascii_table(
+            ["Benchmark samples", "|prediction error|"],
+            rows,
+            title="Ablation — measure-first-n calibration depth (r=216, 8 nodes)",
+        )
+    )
+    # All calibrations stay within the paper's envelope.
+    assert all(e < 0.12 for e in errors.values())
+
+
+def test_ablation_switch_backplane(benchmark):
+    """Relax the paper's "crossbar is never a bottleneck" assumption.
+
+    Sweeps the switch oversubscription ratio: at 1.0 (non-blocking for
+    one-directional traffic) the prediction must match the paper's ideal
+    model; heavy oversubscription slows the predicted run, quantifying
+    how much the assumption matters for the LU workload.
+    """
+    from repro.netmodel.backplane import BackplaneStarNetwork
+
+    platform = platform_for(8)
+    cfg = lu_cfg(R, nodes=8, threads=8, pipelined=True)
+    times = {}
+
+    def run():
+        times["ideal (paper)"] = _predict(platform, cfg)
+        for ratio in (1.0, 2.0, 4.0, 8.0):
+            times[f"oversubscribed {ratio:g}:1"] = _predict(
+                platform,
+                cfg,
+                network_factory=BackplaneStarNetwork.factory(8, ratio),
+            )
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, f"{t:.1f}") for name, t in times.items()]
+    print()
+    print(
+        ascii_table(
+            ["Switch fabric", "Predicted time [s]"],
+            rows,
+            title=f"Ablation — switch backplane capacity on P r={R}, 8 nodes",
+        )
+    )
+    ideal = times["ideal (paper)"]
+    # A non-blocking fabric must not change the prediction materially.
+    assert times["oversubscribed 1:1"] <= ideal * 1.05
+    # Oversubscription monotonically hurts.
+    ordered = [times[f"oversubscribed {r:g}:1"] for r in (1.0, 2.0, 4.0, 8.0)]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    assert ordered[-1] > ideal * 1.05

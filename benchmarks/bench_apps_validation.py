@@ -1,0 +1,93 @@
+"""Beyond-LU validation: prediction accuracy on the other applications.
+
+The paper validates its simulator on one application (LU).  A simulator
+is only trustworthy if its accuracy generalizes, so this bench repeats the
+measured-vs-predicted comparison on the repository's other workloads —
+the Jacobi stencil (neighborhood exchange) and parallel sample sort
+(all-to-all) — at compute-dominant granularities, and checks the errors
+stay within the paper's ±12% band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import SEED
+from repro.analysis.tables import ascii_table
+from repro.apps.sort import SampleSortApplication, SampleSortConfig, SampleSortCostModel
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+NOALLOC = SimulationMode.PDEXEC_NOALLOC
+
+
+def stencil_case(label, **kw):
+    cfg = StencilConfig(mode=NOALLOC, **kw)
+    model = StencilCostModel(PAPER_CLUSTER.machine, cfg.rows, cfg.n)
+    return label, cfg, model, StencilApplication
+
+
+def sort_case(label, **kw):
+    cfg = SampleSortConfig(mode=NOALLOC, **kw)
+    model = SampleSortCostModel(
+        PAPER_CLUSTER.machine, cfg.block, cfg.num_threads
+    )
+    return label, cfg, model, SampleSortApplication
+
+
+CASES = [
+    stencil_case("stencil 768² pipelined 4n",
+                 n=768, stripes=8, iterations=5, num_threads=4, num_nodes=4),
+    stencil_case("stencil 1296² barrier 4n",
+                 n=1296, stripes=8, iterations=5, num_threads=4, num_nodes=4,
+                 barrier=True),
+    stencil_case("stencil 1296² pipelined 8n",
+                 n=1296, stripes=8, iterations=5, num_threads=8, num_nodes=8),
+    sort_case("sort 256k keys 4n", m=1 << 18, num_threads=4, num_nodes=4),
+    sort_case("sort 256k keys 8n", m=1 << 18, num_threads=8, num_nodes=8),
+    sort_case("sort 1M keys 4n", m=1 << 20, num_threads=4, num_nodes=4),
+]
+
+
+def run_cases():
+    rows = []
+    for label, cfg, model, app_cls in CASES:
+        measured = TestbedExecutor(
+            VirtualCluster(num_nodes=cfg.num_nodes, seed=SEED),
+            run_kernels=False,
+        ).run(app_cls(cfg))
+        predicted = DPSSimulator(
+            PAPER_CLUSTER, CostModelProvider(model, run_kernels=False)
+        ).run(app_cls(cfg))
+        error = predicted.predicted_time / measured.measured_time - 1.0
+        rows.append((label, measured.measured_time,
+                     predicted.predicted_time, error))
+    return rows
+
+
+def test_other_apps_within_paper_band(benchmark):
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.setdefault("rows", run_cases()), rounds=1, iterations=1
+    )
+    rows = holder["rows"]
+    print()
+    print(
+        ascii_table(
+            ("configuration", "measured [s]", "predicted [s]", "error"),
+            [
+                (label, f"{m:.3f}", f"{p:.3f}", f"{e:+.1%}")
+                for label, m, p, e in rows
+            ],
+            title="Prediction accuracy beyond LU (stencil, sample sort)",
+        )
+    )
+    errors = [e for *_, e in rows]
+    assert all(abs(e) < 0.12 for e in errors), errors
+    # And the bulk of them sit in the tighter band the paper reports.
+    assert sum(abs(e) < 0.06 for e in errors) >= len(errors) // 2

@@ -1,0 +1,91 @@
+"""Fig. 8 — impact of modifications on running time (4 nodes).
+
+Paper: reference is the basic flow graph at r = 648 (259.4 s).  The
+variant optimizations (PM, P, P+PM, P+FC, P+PM+FC) bring ~3% each, which
+is "negligible compared with the gains obtained by simply changing the
+decomposition granularity": r = 162 is best (measured 72.5 s, predicted
+75.5 s, improvement ~3.6x), and "the improvement predicted by the
+simulator is within a few percents of the measured improvements".
+"""
+
+from __future__ import annotations
+
+from _common import lu_cfg, measure_and_predict
+from repro.analysis.tables import ascii_table
+
+VARIANTS = [
+    ("PM", dict(pm=True)),
+    ("P", dict(pipelined=True)),
+    ("P+PM", dict(pipelined=True, pm=True)),
+    ("P+FC", dict(pipelined=True, fc=8)),
+    ("P+PM+FC", dict(pipelined=True, pm=True, fc=8)),
+]
+GRANULARITIES = [324, 216, 162, 108]
+R_REF = 648
+
+
+def run_fig08():
+    ref = measure_and_predict("fig8/basic-r648", lu_cfg(R_REF, nodes=4))
+    rows = []
+    for name, kw in VARIANTS:
+        res = measure_and_predict(f"fig8/{name}-r{R_REF}", lu_cfg(R_REF, nodes=4, **kw))
+        rows.append((name + f" (r={R_REF})", res))
+    for r in GRANULARITIES:
+        res = measure_and_predict(f"fig8/basic-r{r}", lu_cfg(r, nodes=4))
+        rows.append((f"r={r}", res))
+    return ref, rows
+
+
+def test_fig08(benchmark):
+    holder = {}
+    benchmark.pedantic(lambda: holder.update(zip(("ref", "rows"), run_fig08())), rounds=1, iterations=1)
+    ref, rows = holder["ref"], holder["rows"]
+
+    table = []
+    for name, res in rows:
+        table.append(
+            (
+                name,
+                f"{ref.measured / res.measured:.3f}",
+                f"{ref.predicted / res.predicted:.3f}",
+                f"{res.error * 100:+.1f}%",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Modification", "Measured improvement", "Predicted improvement", "Pred. error"],
+            table,
+            title=f"Fig. 8 — 4 nodes, reference basic r={R_REF}: "
+            f"measured {ref.measured:.1f} s, predicted {ref.predicted:.1f} s "
+            "(paper reference: 259.4 s)",
+        )
+    )
+
+    improvements = {name: ref.measured / res.measured for name, res in rows}
+    # Variant tweaks at r=648 are small...
+    variant_best = max(improvements[n + f" (r={R_REF})"] for n, _ in VARIANTS)
+    # ...while granularity changes dominate.  The paper sees up to 3.6x
+    # because its 4-block reference is pathological (259.4 s, slower than
+    # serial); our fluid full-duplex testbed is kinder to that case
+    # (~139 s), so the headroom — and hence the ratio — is smaller.  The
+    # *shape* under test: granularity buys far more than any variant.
+    gran_best = max(improvements[f"r={r}"] for r in GRANULARITIES)
+    assert gran_best > 1.4
+    assert gran_best > variant_best + 0.25
+    # An interior granularity optimum exists: the best r is not the extreme.
+    best_r = max(GRANULARITIES, key=lambda r: improvements[f"r={r}"])
+    assert best_r in (162, 216, 324)
+    # The simulator ranks granularities like the measurements do wherever
+    # the measurements clearly separate them; near-ties (< 5% apart) may
+    # legitimately swap under measurement noise.
+    predicted_improvement = {
+        r: ref.predicted / dict(rows)[f"r={r}"].predicted for r in GRANULARITIES
+    }
+    for ra in GRANULARITIES:
+        for rb in GRANULARITIES:
+            if improvements[f"r={ra}"] > improvements[f"r={rb}"] * 1.05:
+                assert predicted_improvement[ra] > predicted_improvement[rb]
+    # Predictions within the paper's accuracy envelope.
+    for _, res in rows:
+        assert abs(res.error) < 0.12

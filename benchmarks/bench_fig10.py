@@ -1,0 +1,85 @@
+"""Fig. 10 — impact of decomposition granularity on 8 nodes.
+
+Paper: reference basic r=324 (84.2 s); r swept over {81, 108, 162, 216,
+324} for the basic, P and P+FC strategies.  "When we increase the number
+of processing nodes to eight nodes, the pipelined flow graph (P) and the
+flow control (FC) improvements become more significant. [...] In all
+cases, pipelining considerably improves the performance with respect to
+the basic flow graph, and the conjunction of pipelining and flow control
+further improves the results."
+"""
+
+from __future__ import annotations
+
+from _common import lu_cfg, measure_and_predict
+from repro.analysis.tables import ascii_table
+
+RS = [81, 108, 162, 216, 324]
+STRATEGIES = [
+    ("Basic", dict()),
+    ("P", dict(pipelined=True)),
+    ("P+FC", dict(pipelined=True, fc=16)),
+]
+
+
+def run_fig10():
+    ref = measure_and_predict("fig10/basic-r324", lu_cfg(324, nodes=8, threads=8))
+    grid = {}
+    for r in RS:
+        for name, kw in STRATEGIES:
+            grid[(name, r)] = measure_and_predict(
+                f"fig10/{name}-r{r}", lu_cfg(r, nodes=8, threads=8, **kw)
+            )
+    return ref, grid
+
+
+def test_fig10(benchmark):
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.update(zip(("ref", "grid"), run_fig10())), rounds=1, iterations=1
+    )
+    ref, grid = holder["ref"], holder["grid"]
+
+    rows = []
+    for r in RS:
+        row = [f"r={r}"]
+        for name, _ in STRATEGIES:
+            res = grid[(name, r)]
+            row.append(
+                f"{ref.measured / res.measured:.2f}/{ref.predicted / res.predicted:.2f}"
+            )
+        rows.append(row)
+    print()
+    print(
+        ascii_table(
+            ["Block size", "Basic meas/sim", "P meas/sim", "P+FC meas/sim"],
+            rows,
+            title=f"Fig. 10 — 8 nodes, improvement vs basic r=324 "
+            f"(measured {ref.measured:.1f} s; paper reference 84.2 s)",
+        )
+    )
+
+    # Pipelining helps at every granularity on 8 nodes (paper's headline).
+    for r in RS:
+        basic = grid[("Basic", r)]
+        p = grid[("P", r)]
+        pfc = grid[("P+FC", r)]
+        assert p.measured < basic.measured
+        assert p.predicted < basic.predicted
+        # P+FC at least matches P (small tolerance for noise).
+        assert pfc.measured <= p.measured * 1.05
+    # Granularity has an interior optimum for the basic strategy.
+    basic_times = {r: grid[("Basic", r)].measured for r in RS}
+    best_r = min(basic_times, key=basic_times.get)
+    assert best_r not in (RS[0], RS[-1])
+    # Predictions within the paper's overall envelope.  The paper's own
+    # distribution has a tail: ~5% of its 168 measurements exceed +-12%,
+    # and Fig. 10's P/P+FC curves show visible measured-vs-sim gaps at
+    # fine granularity — the heavily pipelined, communication-saturated
+    # regime is the hardest to model.  Basic stays tight; pipelined
+    # variants get the paper-consistent wider band.
+    for (name, r), res in grid.items():
+        if name == "Basic":
+            assert abs(res.error) < 0.12
+        else:
+            assert abs(res.error) < 0.25

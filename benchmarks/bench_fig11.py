@@ -1,0 +1,99 @@
+"""Fig. 11 — dynamic efficiency of the LU factorization.
+
+Paper: 2592^2, r=324, eight column blocks, basic flow graph.  "During the
+first iteration, four nodes are about 50% more efficient than eight nodes
+(60.2% vs 37.6%).  The relative efficiency of 4 nodes versus 8 nodes
+increases up to iteration 6 where 4 nodes have twice the efficiency of 8
+nodes. [...] Removing threads during execution increases the efficiency
+of the subsequent iterations" (the "kill 4 after it. 1" curve).
+"""
+
+from __future__ import annotations
+
+from _common import KILL4_AFTER_1, lu_cfg, measure_and_predict
+from repro.analysis.tables import ascii_table
+from repro.dps.trace import TraceLevel
+from repro.sim.efficiency import dynamic_efficiency
+
+R = 324
+NB = 8
+
+
+def efficiency_series(result_run):
+    return {pe.label: pe.efficiency for pe in dynamic_efficiency(result_run)}
+
+
+def run_fig11():
+    cases = {
+        "8 threads": lu_cfg(R, nodes=8, threads=8),
+        "4 threads": lu_cfg(R, nodes=4, threads=4),
+        "kill 4 after it. 1": lu_cfg(R, nodes=8, threads=8, schedule=KILL4_AFTER_1),
+    }
+    out = {}
+    for name, cfg in cases.items():
+        res = measure_and_predict(
+            f"fig11/{name}", cfg, trace_level=TraceLevel.SUMMARY, keep_runs=True
+        )
+        out[name] = {
+            "measured": efficiency_series(res.measured_run),
+            "sim": efficiency_series(res.predicted_run),
+            "result": res,
+        }
+    return out
+
+
+def test_fig11(benchmark):
+    holder = {}
+    benchmark.pedantic(lambda: holder.update(run_fig11()), rounds=1, iterations=1)
+
+    labels = [f"iter{k}" for k in range(1, NB + 1)]
+    rows = []
+    for label in labels:
+        row = [label]
+        for name in ("8 threads", "4 threads", "kill 4 after it. 1"):
+            meas = holder[name]["measured"].get(label)
+            sim = holder[name]["sim"].get(label)
+            row.append(f"{meas * 100:.1f}/{sim * 100:.1f}")
+        rows.append(row)
+    print()
+    print(
+        ascii_table(
+            ["Iteration", "8 thr meas/sim [%]", "4 thr meas/sim [%]", "kill4@1 meas/sim [%]"],
+            rows,
+            title="Fig. 11 — dynamic efficiency per LU iteration "
+            "(paper iteration 1: 8 thr 37.6%, 4 thr 60.2%)",
+        )
+    )
+
+    m8 = holder["8 threads"]["measured"]
+    m4 = holder["4 threads"]["measured"]
+    kill = holder["kill 4 after it. 1"]["measured"]
+
+    # Efficiency decays over the iterations (compare early vs late).
+    assert m8["iter1"] > m8["iter6"] > m8["iter8"]
+    assert m4["iter1"] > m4["iter7"]
+    # Four nodes are substantially more efficient than eight throughout.
+    for label in labels[:6]:
+        assert m4[label] > 1.3 * m8[label]
+    # Paper anchors: iteration-1 efficiencies in the right neighbourhoods.
+    assert 0.25 < m8["iter1"] < 0.55
+    assert 0.45 < m4["iter1"] < 0.75
+    # Killing 4 threads after iteration 1 lifts subsequent efficiency
+    # toward the 4-node curve.
+    for label in labels[2:6]:
+        assert kill[label] > 1.25 * m8[label]
+    # The simulator reproduces the same ordering (prediction side).
+    s8 = holder["8 threads"]["sim"]
+    s4 = holder["4 threads"]["sim"]
+    skill = holder["kill 4 after it. 1"]["sim"]
+    for label in labels[:6]:
+        assert s4[label] > s8[label]
+    for label in labels[2:6]:
+        assert skill[label] > s8[label]
+    # Per-iteration prediction error stays moderate for the early,
+    # long iterations that dominate the running time.
+    for name in holder:
+        for label in labels[:4]:
+            meas = holder[name]["measured"][label]
+            sim = holder[name]["sim"][label]
+            assert abs(sim - meas) / meas < 0.20

@@ -1,0 +1,93 @@
+"""Fig. 12 — running times of dynamic thread-removal strategies.
+
+Paper (2592^2, r=324, basic graph, 8 column blocks): the five strategies
+— 4 threads, 8 threads, kill 4 after it. 1, kill 4 after it. 4, kill 2
+after it. 2 + 2 after it. 3 — all land in a ~85-105 s band.  "Using eight
+nodes for the whole computation or only for the first iteration yields
+almost the same running time", so deallocating four nodes after iteration
+1 frees half the cluster nearly for free.
+"""
+
+from __future__ import annotations
+
+from _common import (
+    KILL2_2,
+    KILL4_AFTER_1,
+    KILL4_AFTER_4,
+    lu_cfg,
+    measure_and_predict,
+)
+from repro.analysis.tables import ascii_table
+from repro.sim.efficiency import mean_efficiency
+
+R = 324
+
+STRATEGIES = [
+    ("4 threads", lu_cfg(R, nodes=4, threads=4)),
+    ("8 threads", lu_cfg(R, nodes=8, threads=8)),
+    ("8 thr, kill 4 after it. 1", lu_cfg(R, nodes=8, threads=8, schedule=KILL4_AFTER_1)),
+    ("8 thr, kill 4 after it. 4", lu_cfg(R, nodes=8, threads=8, schedule=KILL4_AFTER_4)),
+    ("8 thr, kill 2@2 + 2@3", lu_cfg(R, nodes=8, threads=8, schedule=KILL2_2)),
+]
+
+
+def run_fig12():
+    return {
+        name: measure_and_predict(f"fig12/{name}", cfg, keep_runs=True)
+        for name, cfg in STRATEGIES
+    }
+
+
+def test_fig12(benchmark):
+    holder = {}
+    benchmark.pedantic(lambda: holder.update(run_fig12()), rounds=1, iterations=1)
+
+    rows = []
+    for name, _ in STRATEGIES:
+        res = holder[name]
+        rows.append(
+            (
+                name,
+                f"{res.measured:.1f}",
+                f"{res.predicted:.1f}",
+                f"{res.error * 100:+.1f}%",
+                f"{mean_efficiency(res.measured_run) * 100:.1f}%",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Strategy", "Measured [s]", "Predicted [s]", "Error", "Mean efficiency"],
+            rows,
+            title="Fig. 12 — dynamic thread-removal strategies "
+            "(paper: all within ~85-105 s)",
+        )
+    )
+
+    times = {name: holder[name].measured for name, _ in STRATEGIES}
+    t8 = times["8 threads"]
+    t4 = times["4 threads"]
+    kill1 = times["8 thr, kill 4 after it. 1"]
+    kill4 = times["8 thr, kill 4 after it. 4"]
+    kill22 = times["8 thr, kill 2@2 + 2@3"]
+
+    # All strategies land in a narrow band (paper: ~85-105 s => <25% spread).
+    spread = max(times.values()) / min(times.values())
+    assert spread < 1.35
+    # Killing 4 after it. 1 costs little over keeping all 8 nodes.
+    assert kill1 < 1.20 * t8
+    # Later removal costs even less.
+    assert kill4 < 1.10 * t8
+    assert kill22 < 1.20 * t8
+    # ...and dynamic strategies beat the static 4-thread run or match it
+    # while having used extra nodes only early on.
+    assert kill1 < 1.05 * t4
+
+    # Freed capacity: mean efficiency of kill-4-after-1 beats static 8.
+    eff8 = mean_efficiency(holder["8 threads"].measured_run)
+    eff_kill = mean_efficiency(holder["8 thr, kill 4 after it. 1"].measured_run)
+    assert eff_kill > 1.2 * eff8
+
+    # Predictions track measurements for every strategy.
+    for name, _ in STRATEGIES:
+        assert abs(holder[name].error) < 0.12

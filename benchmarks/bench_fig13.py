@@ -1,0 +1,98 @@
+"""Fig. 13 — histogram of prediction errors across the whole evaluation.
+
+Paper, over 168 measurements: "71.4% of all predictions are within ±4%
+accuracy, 81.6% are within ±6% accuracy, and more than 95% are within
+±12% prediction accuracy."
+
+This bench re-runs the complete validation sweep (every configuration of
+Figs. 8-12, across several measurement seeds to mirror the paper's
+repeated measurements) and prints the error histogram.
+"""
+
+from __future__ import annotations
+
+from _common import (
+    KILL2_2,
+    KILL4_AFTER_1,
+    KILL4_AFTER_4,
+    lu_cfg,
+    measure_and_predict,
+    study_from,
+)
+from repro.analysis.tables import ascii_histogram
+
+
+def all_cases():
+    cases = []
+    # Fig. 8/9 space: 4 nodes.
+    for r in (648, 324, 216, 162, 108):
+        cases.append((f"basic-r{r}-4n", lu_cfg(r, nodes=4)))
+    for name, kw in [
+        ("PM", dict(pm=True)),
+        ("P", dict(pipelined=True)),
+        ("P+PM", dict(pipelined=True, pm=True)),
+        ("P+FC", dict(pipelined=True, fc=8)),
+        ("P+PM+FC", dict(pipelined=True, pm=True, fc=8)),
+    ]:
+        cases.append((f"{name}-r324-4n", lu_cfg(324, nodes=4, **kw)))
+        cases.append((f"{name}-r648-4n", lu_cfg(648, nodes=4, **kw)))
+    # Fig. 10 space: 8 nodes.
+    for r in (81, 108, 162, 216, 324):
+        cases.append((f"basic-r{r}-8n", lu_cfg(r, nodes=8, threads=8)))
+        cases.append((f"P-r{r}-8n", lu_cfg(r, nodes=8, threads=8, pipelined=True)))
+        cases.append(
+            (f"P+FC-r{r}-8n", lu_cfg(r, nodes=8, threads=8, pipelined=True, fc=16))
+        )
+    # Fig. 11/12 space: removal strategies.
+    cases.append(("4thr", lu_cfg(324, nodes=4, threads=4)))
+    cases.append(("kill4@1", lu_cfg(324, nodes=8, threads=8, schedule=KILL4_AFTER_1)))
+    cases.append(("kill4@4", lu_cfg(324, nodes=8, threads=8, schedule=KILL4_AFTER_4)))
+    cases.append(("kill2@2+2@3", lu_cfg(324, nodes=8, threads=8, schedule=KILL2_2)))
+    return cases
+
+
+def run_fig13(seeds=(1, 2, 3, 4, 5)):
+    results = []
+    for seed in seeds:
+        for label, cfg in all_cases():
+            results.append(
+                measure_and_predict(f"fig13/{label}/s{seed}", cfg, seed=seed)
+            )
+    return results
+
+
+def test_fig13(benchmark):
+    holder = {}
+    benchmark.pedantic(lambda: holder.update(results=run_fig13()), rounds=1, iterations=1)
+    study = study_from(holder["results"])
+
+    summary = study.summary()
+    hist = study.histogram(limit=0.16, bin_width=0.02)
+    print()
+    print(
+        ascii_histogram(
+            hist.bins(),
+            title=f"Fig. 13 — prediction errors over {int(summary['count'])} "
+            "measurements (paper: 168 measurements, 71.4% within ±4%, "
+            ">95% within ±12%)",
+        )
+    )
+    print(
+        f"within ±4%: {summary['within_4pct'] * 100:.1f}%   "
+        f"within ±6%: {summary['within_6pct'] * 100:.1f}%   "
+        f"within ±12%: {summary['within_12pct'] * 100:.1f}%   "
+        f"mean |err|: {summary['mean_abs'] * 100:.1f}%   "
+        f"max |err|: {summary['max_abs'] * 100:.1f}%"
+    )
+
+    # Enough measurements to be comparable with the paper's 168
+    # (34 configurations x 5 measurement seeds = 170).
+    assert summary["count"] >= 160
+    # Error distribution shape: majority small, overwhelming share <12%.
+    assert summary["within_4pct"] > 0.40
+    assert summary["within_6pct"] > 0.55
+    assert summary["within_12pct"] > 0.80
+    assert summary["max_abs"] < 0.30
+    # Centered: both signs occur.
+    errors = study.errors
+    assert (errors > 0).any() and (errors < 0).any()

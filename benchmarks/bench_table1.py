@@ -1,0 +1,154 @@
+"""Table 1 — simulation cost and predicted time across simulation modes.
+
+Paper (UltraSparc II host): real 8-node run 62.3 s, serial 185.1 s; direct
+execution simulation costs 193.0 s / 127 MB and predicts 60.7 s; PDEXEC
+9.1 s / 124 MB predicting 60.3 s; PDEXEC+NOALLOC 6.5 s / 14 MB predicting
+59.9 s.  On the 6.5x-faster Pentium 4 host the *simulation* gets faster
+but PDEXEC predictions stay put (60.0 / 59.9 s) — partial direct execution
+makes the simulation portable.
+
+Reproduced shape checks:
+
+* the testbed's serial and 8-node times anchor near 185 s / 62 s scale,
+* PDEXEC is much faster to *run* than direct execution and NOALLOC uses a
+  small fraction of the memory,
+* predicted times agree within a few percent across all three modes, and
+  are host-independent for PDEXEC by construction (host speed only enters
+  through the direct-execution calibration scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import N, SEED, lu_cfg, platform_for
+from repro.analysis.tables import ascii_table
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.sim.modes import SimulationMode
+from repro.sim.providers import (
+    CostModelProvider,
+    DirectExecutionProvider,
+    HostCalibration,
+    MeasureFirstNProvider,
+)
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+from repro.util.units import MB
+
+R = 216
+CFG_DIRECT = LUConfig(n=N, r=R, num_threads=8, num_nodes=8, mode=SimulationMode.DIRECT)
+CFG_PDEXEC = LUConfig(n=N, r=R, num_threads=8, num_nodes=8, mode=SimulationMode.PDEXEC)
+CFG_NOALLOC = LUConfig(
+    n=N, r=R, num_threads=8, num_nodes=8, mode=SimulationMode.PDEXEC_NOALLOC
+)
+
+
+def _reference_times():
+    cluster = VirtualCluster(num_nodes=8, seed=SEED)
+    parallel = TestbedExecutor(cluster, run_kernels=False).run(
+        LUApplication(CFG_NOALLOC)
+    )
+    serial_cfg = LUConfig(
+        n=N, r=R, num_threads=1, num_nodes=1, mode=SimulationMode.PDEXEC_NOALLOC
+    )
+    serial = TestbedExecutor(
+        VirtualCluster(num_nodes=1, seed=SEED), run_kernels=False
+    ).run(LUApplication(serial_cfg))
+    return parallel.measured_time, serial.measured_time
+
+
+def _simulate(mode: SimulationMode):
+    platform = platform_for(8)
+    if mode is SimulationMode.DIRECT:
+        calibration = HostCalibration(platform.machine, reference_size=R)
+        provider = MeasureFirstNProvider(
+            DirectExecutionProvider(calibration), n=2
+        )
+        cfg = CFG_DIRECT
+    elif mode is SimulationMode.PDEXEC:
+        provider = CostModelProvider(LUCostModel(platform.machine, R), run_kernels=True)
+        cfg = CFG_PDEXEC
+    else:
+        provider = CostModelProvider(LUCostModel(platform.machine, R))
+        cfg = CFG_NOALLOC
+    sim = DPSSimulator(platform, provider, measure_memory=True)
+    return sim.run(LUApplication(cfg))
+
+
+def test_table1(benchmark):
+    measured_parallel, measured_serial = _reference_times()
+
+    results = {}
+
+    def run_all():
+        for mode in (
+            SimulationMode.DIRECT,
+            SimulationMode.PDEXEC,
+            SimulationMode.PDEXEC_NOALLOC,
+        ):
+            results[mode] = _simulate(mode)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        ("Real application (8 nodes)", "-", "-", f"{measured_parallel:.1f} (measured)"),
+        ("Real application (1 node)", f"{measured_serial:.1f}", "-", "N/A"),
+    ]
+    for mode, label in [
+        (SimulationMode.DIRECT, "Direct execution (sim)"),
+        (SimulationMode.PDEXEC, "PDEXEC (sim)"),
+        (SimulationMode.PDEXEC_NOALLOC, "PDEXEC NOALLOC (sim)"),
+    ]:
+        res = results[mode]
+        note = ""
+        if mode is SimulationMode.DIRECT:
+            note = " (not representative: host != target, cf. paper's P4 row)"
+        rows.append(
+            (
+                label,
+                f"{res.simulation_wall_time:.2f}",
+                f"{res.simulation_peak_memory_mb:.1f}",
+                f"{res.predicted_time:.1f}{note}",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Setting", "Sim wall time [s]", "Sim memory [MB]", "Predicted time [s]"],
+            rows,
+            title=f"Table 1 — LU {N}x{N}, r={R}, basic graph, 8 nodes "
+            f"(paper: real 62.3 s, serial 185.1 s)",
+        )
+    )
+
+    direct = results[SimulationMode.DIRECT]
+    pdexec = results[SimulationMode.PDEXEC]
+    noalloc = results[SimulationMode.PDEXEC_NOALLOC]
+
+    # Anchors: same order of magnitude as the paper's testbed.
+    assert 120 < measured_serial < 260
+    assert 40 < measured_parallel < 110
+
+    # PDEXEC+NOALLOC must be the cheapest simulation by a wide margin.
+    assert noalloc.simulation_wall_time < pdexec.simulation_wall_time
+    assert noalloc.simulation_peak_memory < 0.2 * pdexec.simulation_peak_memory
+    # Allocating modes hold the 2592^2 matrix (~54 MB) plus copies.
+    assert pdexec.simulation_peak_memory > 50 * MB
+    assert noalloc.simulation_peak_memory < 30 * MB
+
+    # PDEXEC predictions agree within a few percent (paper: -1.3%) and do
+    # not depend on the simulation host.
+    assert abs(pdexec.predicted_time - noalloc.predicted_time) / noalloc.predicted_time < 0.02
+    # Direct execution on a host dissimilar from the target is *not
+    # representative* — the paper's Table 1 reports "N/A" for the direct
+    # execution prediction on the Pentium 4 for exactly this reason.  The
+    # relative speeds of panel/trsm/gemm on a modern BLAS differ from the
+    # UltraSparc profile, so only a loose sanity band applies here.
+    assert 0.3 < direct.predicted_time / noalloc.predicted_time < 5.0
+
+    # And the prediction tracks the measured parallel run.
+    assert abs(noalloc.predicted_time - measured_parallel) / measured_parallel < 0.12

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""What-if studies with the parametric model (paper section 4).
+
+"One may modify the bandwidth and latency parameters to evaluate the
+benefits of a faster network, or reduce the duration of various operations
+to identify the ones that should be optimized.  The simulator then becomes
+a powerful tool for the optimization of parallel applications."
+
+This example uses :mod:`repro.analysis.whatif` to sweep the interconnect
+from Fast Ethernet to Gigabit and a zero-latency ideal, asks "which LU
+kernel is worth optimizing?", and prints a (latency, bandwidth)
+sensitivity grid — all without touching the application code.
+
+Run:  python examples/whatif_network.py
+"""
+
+from repro import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    LUApplication,
+    LUConfig,
+    LUCostModel,
+    NetworkParams,
+    PAPER_CLUSTER,
+    SimulationMode,
+)
+from repro.analysis.whatif import (
+    kernel_speedup_study,
+    latency_bandwidth_grid,
+    network_sweep,
+    render_grid,
+    render_kernel_study,
+    render_network_sweep,
+)
+
+CFG = LUConfig(
+    n=2592, r=162, num_threads=8, num_nodes=8,
+    pipelined=True, mode=SimulationMode.PDEXEC_NOALLOC,
+)
+
+
+def app_factory():
+    return LUApplication(CFG)
+
+
+def model_factory():
+    return LUCostModel(PAPER_CLUSTER.machine, CFG.r)
+
+
+def main() -> None:
+    print(f"pipelined LU {CFG.n}x{CFG.n}, r={CFG.r}, 8 nodes\n")
+
+    sweep = network_sweep(
+        app_factory,
+        model_factory,
+        PAPER_CLUSTER,
+        {
+            "Fast Ethernet (paper)": FAST_ETHERNET,
+            "Gigabit Ethernet": GIGABIT_ETHERNET,
+            "Gigabit, zero latency": NetworkParams(
+                latency=0.0, bandwidth=GIGABIT_ETHERNET.bandwidth
+            ),
+        },
+    )
+    print(render_network_sweep(sweep))
+    print()
+
+    baseline = sweep[0].predicted_time
+    study = kernel_speedup_study(
+        app_factory,
+        model_factory,
+        PAPER_CLUSTER,
+        kernels=("gemm", "trsm", "panel_lu", "rowswap"),
+        factor=0.5,
+    )
+    print(render_kernel_study(study, baseline=baseline))
+    print()
+
+    grid = latency_bandwidth_grid(
+        app_factory,
+        model_factory,
+        PAPER_CLUSTER,
+        latencies=(0.0, 80e-6, 500e-6),
+        bandwidths=(FAST_ETHERNET.bandwidth, GIGABIT_ETHERNET.bandwidth),
+    )
+    print(render_grid(grid))
+    print()
+    print("Reading: the multiplication kernel dominates — optimizing gemm")
+    print("pays; optimizing row swaps does not.  The network sweep bounds")
+    print("the value of a hardware upgrade before buying it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,211 @@
+"""repro — reproduction of *"A simulator for parallel applications with
+dynamically varying compute node allocation"* (Schaeli, Gerlach, Hersch;
+IPPS 2006).
+
+Layers (bottom-up):
+
+* :mod:`repro.des` — discrete-event kernel and fluid resource pools;
+* :mod:`repro.netmodel`, :mod:`repro.cpumodel` — the paper's network and
+  processing-power models plus their ground-truth counterparts;
+* :mod:`repro.dps` — the DPS parallelization framework: flow graphs,
+  split/merge/stream operations, routing functions, DPS threads, flow
+  control and dynamic allocation;
+* :mod:`repro.sim` — **the paper's contribution**: the direct-execution
+  simulator with partial direct execution and dynamic efficiency;
+* :mod:`repro.testbed` — the virtual cluster standing in for the paper's
+  real testbed ("measurements");
+* :mod:`repro.apps` — block LU factorization (the paper's test
+  application), matrix multiplication, an image pipeline;
+* :mod:`repro.clusterserver` — the paper's future work: a cluster serving
+  multiple malleable applications;
+* :mod:`repro.analysis` — metrics, prediction-error studies, sweeps.
+
+Quickstart::
+
+    from repro import (
+        LUApplication, LUConfig, DPSSimulator, PAPER_CLUSTER,
+        CostModelProvider, LUCostModel,
+    )
+
+    cfg = LUConfig(n=1296, r=162, num_threads=4, num_nodes=4)
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(LUCostModel(PAPER_CLUSTER.machine, cfg.r)),
+    )
+    result = sim.run(LUApplication(cfg))
+    print(f"predicted running time: {result.predicted_time:.1f} s")
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    CostModelError,
+    DeadlockError,
+    DeploymentError,
+    FlowGraphError,
+    MalleabilityError,
+    ReproError,
+    RoutingError,
+    SerializationError,
+    SimulationError,
+    VerificationError,
+)
+from repro.des import Kernel
+from repro.netmodel import (
+    AnalyticNetwork,
+    BackplaneStarNetwork,
+    EqualShareStarNetwork,
+    MaxMinStarNetwork,
+    NetworkParams,
+    PacketNetwork,
+    calibrate,
+)
+from repro.netmodel.params import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.cpumodel import (
+    CommCostParams,
+    MachineProfile,
+    PENTIUM4_2800,
+    ULTRASPARC_II_440,
+)
+from repro.dps import (
+    AllocationEvent,
+    AllocationSchedule,
+    Compute,
+    DataObject,
+    Deployment,
+    ExecutionBackend,
+    FlowGraph,
+    KernelSpec,
+    LeafOperation,
+    MergeOperation,
+    Post,
+    RemoveThreads,
+    RoundRobin,
+    Runtime,
+    SplitOperation,
+    StreamOperation,
+)
+from repro.dps.trace import TraceLevel
+from repro.sim import (
+    CostModelProvider,
+    DPSSimulator,
+    DirectExecutionProvider,
+    MeasureFirstNProvider,
+    PAPER_CLUSTER,
+    PlatformSpec,
+    SimulationMode,
+    SimulationResult,
+    dynamic_efficiency,
+    mean_efficiency,
+)
+from repro.sim.providers import HostCalibration, MachineCostModel, TableCostModel
+from repro.testbed import Measurement, TestbedExecutor, VirtualCluster
+from repro.apps.lu import LUApplication, LUConfig, LUCostModel
+from repro.apps.matmul import MatmulApplication, MatmulConfig
+from repro.apps.imgpipe import ImagePipelineApplication, ImagePipelineConfig
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.apps.sort import (
+    SampleSortApplication,
+    SampleSortConfig,
+    SampleSortCostModel,
+)
+from repro.clusterserver import (
+    AdaptiveEfficiencyScheduler,
+    ClusterServer,
+    EquipartitionScheduler,
+    StaticScheduler,
+    synthetic_workload,
+)
+from repro.analysis import PredictionStudy, SweepCase, run_lu_case, sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "FlowGraphError",
+    "RoutingError",
+    "SerializationError",
+    "DeploymentError",
+    "MalleabilityError",
+    "CostModelError",
+    "VerificationError",
+    # kernel & models
+    "Kernel",
+    "NetworkParams",
+    "FAST_ETHERNET",
+    "GIGABIT_ETHERNET",
+    "AnalyticNetwork",
+    "BackplaneStarNetwork",
+    "EqualShareStarNetwork",
+    "MaxMinStarNetwork",
+    "PacketNetwork",
+    "calibrate",
+    "MachineProfile",
+    "ULTRASPARC_II_440",
+    "PENTIUM4_2800",
+    "CommCostParams",
+    # DPS
+    "DataObject",
+    "KernelSpec",
+    "Compute",
+    "Post",
+    "RemoveThreads",
+    "LeafOperation",
+    "SplitOperation",
+    "MergeOperation",
+    "StreamOperation",
+    "RoundRobin",
+    "FlowGraph",
+    "Deployment",
+    "ExecutionBackend",
+    "Runtime",
+    "TraceLevel",
+    "AllocationEvent",
+    "AllocationSchedule",
+    # simulator
+    "DPSSimulator",
+    "SimulationResult",
+    "SimulationMode",
+    "PlatformSpec",
+    "PAPER_CLUSTER",
+    "CostModelProvider",
+    "DirectExecutionProvider",
+    "MeasureFirstNProvider",
+    "HostCalibration",
+    "MachineCostModel",
+    "TableCostModel",
+    "dynamic_efficiency",
+    "mean_efficiency",
+    # testbed
+    "TestbedExecutor",
+    "VirtualCluster",
+    "Measurement",
+    # apps
+    "LUApplication",
+    "LUConfig",
+    "LUCostModel",
+    "MatmulApplication",
+    "MatmulConfig",
+    "ImagePipelineApplication",
+    "ImagePipelineConfig",
+    "StencilApplication",
+    "StencilConfig",
+    "StencilCostModel",
+    "SampleSortApplication",
+    "SampleSortConfig",
+    "SampleSortCostModel",
+    # cluster server
+    "ClusterServer",
+    "StaticScheduler",
+    "EquipartitionScheduler",
+    "AdaptiveEfficiencyScheduler",
+    "synthetic_workload",
+    # analysis
+    "PredictionStudy",
+    "SweepCase",
+    "run_lu_case",
+    "sweep",
+]

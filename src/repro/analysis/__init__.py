@@ -1,0 +1,62 @@
+"""Analysis utilities: metrics, prediction errors, sweeps and rendering."""
+
+from repro.analysis.metrics import (
+    performance_improvement,
+    relative_error,
+    speedup,
+)
+from repro.analysis.prediction import (
+    ErrorHistogram,
+    PredictionRecord,
+    PredictionStudy,
+)
+from repro.analysis.export import (
+    steps_to_csv,
+    to_chrome_trace,
+    transfers_to_csv,
+    write_chrome_trace,
+)
+from repro.analysis.sweep import SweepCase, SweepResult, run_lu_case, sweep
+from repro.analysis.tables import ascii_bar_chart, ascii_histogram, ascii_table
+from repro.analysis.timeline import node_lanes, phase_summary, render_timeline
+from repro.analysis.whatif import (
+    KernelSpeedupEntry,
+    NetworkSweepEntry,
+    kernel_speedup_study,
+    latency_bandwidth_grid,
+    network_sweep,
+    render_grid,
+    render_kernel_study,
+    render_network_sweep,
+)
+
+__all__ = [
+    "speedup",
+    "performance_improvement",
+    "relative_error",
+    "PredictionRecord",
+    "PredictionStudy",
+    "ErrorHistogram",
+    "SweepCase",
+    "SweepResult",
+    "run_lu_case",
+    "sweep",
+    "ascii_table",
+    "ascii_bar_chart",
+    "ascii_histogram",
+    "node_lanes",
+    "render_timeline",
+    "phase_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "steps_to_csv",
+    "transfers_to_csv",
+    "NetworkSweepEntry",
+    "KernelSpeedupEntry",
+    "network_sweep",
+    "kernel_speedup_study",
+    "latency_bandwidth_grid",
+    "render_network_sweep",
+    "render_kernel_study",
+    "render_grid",
+]

@@ -1,0 +1,216 @@
+"""Trace export: Chrome trace-event JSON and CSV.
+
+A :class:`~repro.dps.trace.RuntimeTrace` captured at ``TraceLevel.FULL``
+can be exported for external tooling:
+
+* :func:`to_chrome_trace` produces the Chrome/Perfetto trace-event format
+  (open ``chrome://tracing`` or https://ui.perfetto.dev and load the JSON)
+  — compute steps appear as duration events on per-node/per-thread rows
+  and transfers as flow-style rows per node pair, recreating the paper's
+  Fig. 2 timing diagram interactively;
+* :func:`steps_to_csv` / :func:`transfers_to_csv` produce flat tables for
+  spreadsheet or pandas analysis.
+
+All timestamps are exported in microseconds (the trace-event convention);
+the simulation's own unit is seconds.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Optional
+
+from repro.dps.runtime import RunResult
+from repro.dps.trace import RuntimeTrace, TraceLevel
+from repro.errors import SimulationError
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _require_full(trace: RuntimeTrace, what: str) -> None:
+    if trace.level < TraceLevel.FULL:
+        raise SimulationError(
+            f"{what} requires TraceLevel.FULL (got {trace.level.name}); "
+            "re-run with trace_level=TraceLevel.FULL"
+        )
+
+
+def to_chrome_trace(
+    result: RunResult,
+    include_transfers: bool = True,
+    include_phases: bool = True,
+) -> dict[str, Any]:
+    """Convert a run into a Chrome trace-event document (a JSON dict).
+
+    Rows (``pid``/``tid``) map to virtual nodes and DPS threads; transfer
+    rows live under a per-link pseudo-process.  Phase boundaries become
+    instant events on the global track.
+    """
+    _require_full(result.trace, "chrome trace export")
+    events: list[dict[str, Any]] = []
+    seen_threads: set[tuple[int, str]] = set()
+    for step in result.trace.steps:
+        pid = step.node
+        tid = str(step.thread)
+        if (pid, tid) not in seen_threads:
+            seen_threads.add((pid, tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tid},
+                }
+            )
+        events.append(
+            {
+                "name": f"{step.vertex}:{step.kernel}",
+                "cat": "compute",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": step.start * _US,
+                "dur": step.duration * _US,
+                "args": {
+                    "work_s": step.work,
+                    "stretch": step.stretch,
+                    "phase": step.phase,
+                },
+            }
+        )
+    if include_transfers:
+        for i, tr in enumerate(result.trace.transfers):
+            events.append(
+                {
+                    "name": tr.kind,
+                    "cat": "transfer",
+                    "ph": "X",
+                    "pid": f"net {tr.src_node}->{tr.dst_node}",
+                    "tid": i % 8,  # spread concurrent transfers over rows
+                    "ts": tr.start * _US,
+                    "dur": tr.duration * _US,
+                    "args": {"size_bytes": tr.size, "phase": tr.phase},
+                }
+            )
+    if include_phases:
+        for time, label in result.phases:
+            events.append(
+                {
+                    "name": label,
+                    "cat": "phase",
+                    "ph": "i",
+                    "s": "g",  # global-scope instant
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": time * _US,
+                }
+            )
+    for node, names in _node_names(result).items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": node,
+                "args": {"name": names},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _node_names(result: RunResult) -> dict[int, str]:
+    nodes = {step.node for step in result.trace.steps}
+    return {node: f"node {node}" for node in sorted(nodes)}
+
+
+def write_chrome_trace(result: RunResult, path: str, **kwargs: Any) -> None:
+    """Serialize :func:`to_chrome_trace` output to ``path``."""
+    document = to_chrome_trace(result, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+# --------------------------------------------------------------------------
+# CSV
+# --------------------------------------------------------------------------
+
+STEP_COLUMNS = (
+    "vertex",
+    "thread",
+    "node",
+    "kernel",
+    "start",
+    "end",
+    "duration",
+    "work",
+    "stretch",
+    "phase",
+)
+
+TRANSFER_COLUMNS = (
+    "kind",
+    "src_node",
+    "dst_node",
+    "size",
+    "start",
+    "end",
+    "duration",
+    "phase",
+)
+
+
+def steps_to_csv(trace: RuntimeTrace, path: Optional[str] = None) -> str:
+    """Render the compute steps as CSV; optionally also write ``path``."""
+    _require_full(trace, "step CSV export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(STEP_COLUMNS)
+    for s in trace.steps:
+        # repr() keeps full float precision for exact round trips.
+        writer.writerow(
+            (
+                s.vertex,
+                str(s.thread),
+                s.node,
+                s.kernel,
+                repr(s.start),
+                repr(s.end),
+                repr(s.duration),
+                repr(s.work),
+                repr(s.stretch),
+                s.phase or "",
+            )
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def transfers_to_csv(trace: RuntimeTrace, path: Optional[str] = None) -> str:
+    """Render the transfers as CSV; optionally also write ``path``."""
+    _require_full(trace, "transfer CSV export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(TRANSFER_COLUMNS)
+    for t in trace.transfers:
+        writer.writerow(
+            (
+                t.kind,
+                t.src_node,
+                t.dst_node,
+                repr(t.size),
+                repr(t.start),
+                repr(t.end),
+                repr(t.duration),
+                t.phase or "",
+            )
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,122 @@
+"""Parameter-sweep harness: run measured + predicted LU configurations.
+
+Every validation figure of the paper is a sweep over (variant, block size,
+node count, allocation strategy) with a measured and a predicted series.
+:func:`run_lu_case` performs one such pair — testbed measurement plus
+simulator prediction with testbed-calibrated network parameters — and
+:func:`sweep` maps it over a case list, feeding a
+:class:`~repro.analysis.prediction.PredictionStudy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.prediction import PredictionStudy
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.dps.runtime import RunResult
+from repro.netmodel.calibration import calibrate
+from repro.netmodel.packet import PacketNetwork
+from repro.sim.platform import PlatformSpec
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.dps.trace import TraceLevel
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of a validation sweep."""
+
+    label: str
+    cfg: LUConfig
+    seed: int = 1
+
+
+@dataclass
+class SweepResult:
+    """Measured and predicted outcome of one case."""
+
+    case: SweepCase
+    measured: float
+    predicted: float
+    measured_run: Optional[RunResult] = None
+    predicted_run: Optional[RunResult] = None
+
+    @property
+    def error(self) -> float:
+        """Signed relative prediction error."""
+        return (self.predicted - self.measured) / self.measured
+
+
+def calibrated_platform(cluster: VirtualCluster, calibration_seed: int = 99) -> PlatformSpec:
+    """Characterize the testbed's network and package it for the simulator.
+
+    This is the paper's workflow: latency and bandwidth "must be measured
+    or estimated separately for each target parallel machine" — here they
+    are measured by running the standard calibration experiment against
+    the ground-truth network model.
+    """
+    result = calibrate(
+        lambda kernel: PacketNetwork(
+            kernel, cluster.network, cluster.packet_params, seed=calibration_seed
+        )
+    )
+    return PlatformSpec(machine=cluster.machine, network=result.as_params())
+
+
+def run_lu_case(
+    case: SweepCase,
+    platform: Optional[PlatformSpec] = None,
+    trace_level: TraceLevel = TraceLevel.SUMMARY,
+    keep_runs: bool = False,
+) -> SweepResult:
+    """Measure (testbed) and predict (simulator) one LU configuration."""
+    cfg = case.cfg
+    cluster = VirtualCluster(num_nodes=cfg.num_nodes, seed=case.seed)
+    if platform is None:
+        platform = calibrated_platform(cluster)
+    run_kernels = cfg.mode.runs_kernels
+
+    measurement = TestbedExecutor(
+        cluster, run_kernels=run_kernels, trace_level=trace_level
+    ).run(LUApplication(cfg))
+
+    cost_model = LUCostModel(platform.machine, cfg.r)
+    simulator = DPSSimulator(
+        platform,
+        CostModelProvider(cost_model, run_kernels=run_kernels),
+        trace_level=trace_level,
+    )
+    prediction = simulator.run(LUApplication(cfg))
+
+    return SweepResult(
+        case=case,
+        measured=measurement.measured_time,
+        predicted=prediction.predicted_time,
+        measured_run=measurement.run if keep_runs else None,
+        predicted_run=prediction.run if keep_runs else None,
+    )
+
+
+def sweep(
+    cases: list[SweepCase],
+    platform: Optional[PlatformSpec] = None,
+    study: Optional[PredictionStudy] = None,
+    trace_level: TraceLevel = TraceLevel.SUMMARY,
+    keep_runs: bool = False,
+) -> list[SweepResult]:
+    """Run every case; feed measured/predicted pairs into ``study``."""
+    results = []
+    for case in cases:
+        result = run_lu_case(
+            case, platform=platform, trace_level=trace_level, keep_runs=keep_runs
+        )
+        if study is not None:
+            study.add(case.label, result.measured, result.predicted)
+        results.append(result)
+    return results

@@ -1,0 +1,217 @@
+"""What-if studies over the parametric model (paper section 4).
+
+"Since parametric models allow the different performance factors to be
+isolated from one another, they are very convenient for studying the
+behavior of a system.  One may modify the bandwidth and latency parameters
+to evaluate the benefits of a faster network, or reduce the duration of
+various operations to identify the ones that should be optimized.  The
+simulator then becomes a powerful tool for the optimization of parallel
+applications."
+
+Three structured studies implement that paragraph:
+
+* :func:`network_sweep` — predicted time under alternative interconnects;
+* :func:`kernel_speedup_study` — which kernel is worth optimizing: the
+  predicted time when each kernel (alone) is accelerated by a given
+  factor;
+* :func:`latency_bandwidth_grid` — a 2-D sensitivity map over (l, b).
+
+Every study takes *factories* (fresh application and cost model per run —
+runs mutate application state) and returns plain result records with an
+ASCII rendering, so they compose with any app in :mod:`repro.apps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.analysis.tables import ascii_table
+from repro.apps.base import Application
+from repro.dps.runtime import DurationProvider
+from repro.netmodel.params import NetworkParams
+from repro.sim.platform import PlatformSpec
+from repro.sim.providers import CostModelProvider, MachineCostModel
+from repro.sim.simulator import DPSSimulator
+
+AppFactory = Callable[[], Application]
+ModelFactory = Callable[[], MachineCostModel]
+
+
+def _predict(
+    platform: PlatformSpec, app_factory: AppFactory, model: MachineCostModel
+) -> float:
+    provider: DurationProvider = CostModelProvider(model)
+    return DPSSimulator(platform, provider).run(app_factory()).predicted_time
+
+
+# --------------------------------------------------------------------------
+# network sweep
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetworkSweepEntry:
+    """Prediction under one interconnect."""
+
+    label: str
+    network: NetworkParams
+    predicted_time: float
+    speedup: float  # relative to the first (baseline) entry
+
+
+def network_sweep(
+    app_factory: AppFactory,
+    model_factory: ModelFactory,
+    platform: PlatformSpec,
+    networks: Mapping[str, NetworkParams],
+) -> list[NetworkSweepEntry]:
+    """Predict the application's running time under each interconnect.
+
+    The first entry of ``networks`` is the baseline for the speedup
+    column.
+    """
+    entries: list[NetworkSweepEntry] = []
+    baseline: Optional[float] = None
+    for label, network in networks.items():
+        time = _predict(platform.with_network(network), app_factory, model_factory())
+        if baseline is None:
+            baseline = time
+        entries.append(
+            NetworkSweepEntry(label, network, time, baseline / time)
+        )
+    return entries
+
+
+def render_network_sweep(entries: Sequence[NetworkSweepEntry]) -> str:
+    """ASCII table of a :func:`network_sweep` result."""
+    rows = [
+        (
+            e.label,
+            f"{e.network.latency * 1e6:.0f} us",
+            f"{e.network.bandwidth / 1e6:.1f} MB/s",
+            f"{e.predicted_time:.2f} s",
+            f"{e.speedup:.2f}x",
+        )
+        for e in entries
+    ]
+    return ascii_table(
+        ("network", "latency", "bandwidth", "predicted", "speedup"),
+        rows,
+        title="what-if: interconnect sweep",
+    )
+
+
+# --------------------------------------------------------------------------
+# kernel speedup attribution
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelSpeedupEntry:
+    """Prediction with one kernel accelerated."""
+
+    kernel: str
+    factor: float  # duration multiplier applied to this kernel (< 1: faster)
+    predicted_time: float
+    speedup: float  # whole-application speedup it buys
+
+    @property
+    def worth_optimizing(self) -> bool:
+        """Did accelerating this kernel speed the application up at all?"""
+        return self.speedup > 1.005
+
+
+def kernel_speedup_study(
+    app_factory: AppFactory,
+    model_factory: ModelFactory,
+    platform: PlatformSpec,
+    kernels: Sequence[str],
+    factor: float = 0.5,
+) -> list[KernelSpeedupEntry]:
+    """Accelerate each kernel in turn; report the application-level gain.
+
+    ``factor`` multiplies the kernel's modelled duration (0.5 = twice as
+    fast).  Kernels whose acceleration does not move the total identify
+    non-bottleneck operations — "the ones that should be optimized" are
+    the others.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    baseline = _predict(platform, app_factory, model_factory())
+    entries = []
+    for kernel in kernels:
+        model = model_factory()
+        model.rate_factors[kernel] = model.rate_factors.get(kernel, 1.0) * factor
+        time = _predict(platform, app_factory, model)
+        entries.append(
+            KernelSpeedupEntry(kernel, factor, time, baseline / time)
+        )
+    return entries
+
+
+def render_kernel_study(
+    entries: Sequence[KernelSpeedupEntry], baseline: Optional[float] = None
+) -> str:
+    """ASCII table of a :func:`kernel_speedup_study` result."""
+    rows = [
+        (
+            e.kernel,
+            f"{1.0 / e.factor:.1f}x faster",
+            f"{e.predicted_time:.2f} s",
+            f"{e.speedup:.2f}x",
+            "yes" if e.worth_optimizing else "no",
+        )
+        for e in entries
+    ]
+    title = "what-if: kernel acceleration"
+    if baseline is not None:
+        title += f" (baseline {baseline:.2f} s)"
+    return ascii_table(
+        ("kernel", "change", "predicted", "app speedup", "bottleneck?"),
+        rows,
+        title=title,
+    )
+
+
+# --------------------------------------------------------------------------
+# latency/bandwidth sensitivity grid
+# --------------------------------------------------------------------------
+
+
+def latency_bandwidth_grid(
+    app_factory: AppFactory,
+    model_factory: ModelFactory,
+    platform: PlatformSpec,
+    latencies: Sequence[float],
+    bandwidths: Sequence[float],
+) -> dict[tuple[float, float], float]:
+    """Predicted time for every (latency, bandwidth) combination.
+
+    Returns ``{(l, b): seconds}`` — the raw sensitivity surface behind a
+    "should we buy the faster switch?" decision.
+    """
+    grid: dict[tuple[float, float], float] = {}
+    for latency in latencies:
+        for bandwidth in bandwidths:
+            network = NetworkParams(latency=latency, bandwidth=bandwidth)
+            grid[(latency, bandwidth)] = _predict(
+                platform.with_network(network), app_factory, model_factory()
+            )
+    return grid
+
+
+def render_grid(
+    grid: Mapping[tuple[float, float], float],
+) -> str:
+    """ASCII matrix of a :func:`latency_bandwidth_grid` (rows: latency)."""
+    latencies = sorted({l for l, _ in grid})
+    bandwidths = sorted({b for _, b in grid})
+    headers = ["lat \\ bw"] + [f"{b / 1e6:.0f} MB/s" for b in bandwidths]
+    rows = []
+    for latency in latencies:
+        rows.append(
+            [f"{latency * 1e6:.0f} us"]
+            + [f"{grid[(latency, b)]:.2f} s" for b in bandwidths]
+        )
+    return ascii_table(headers, rows, title="what-if: (latency, bandwidth) grid")

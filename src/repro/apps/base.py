@@ -1,0 +1,39 @@
+"""Application protocol: what the simulator and testbed need from an app.
+
+"Since the simulation library is integrated into DPS, the simulated
+application is obtained by simply activating a compilation flag.  The real
+and simulated applications may thus be run identically" — paper, section 3.
+Here the equivalent contract is an object that can build its flow graph,
+deployment and initial data objects; both execution engines consume it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.dps.deployment import Deployment
+from repro.dps.flowgraph import FlowGraph
+from repro.dps.malleability import MigrationPlanner
+from repro.dps.runtime import Runtime
+
+
+@runtime_checkable
+class Application(Protocol):
+    """A DPS application runnable under any execution engine."""
+
+    def build_graph(self) -> FlowGraph:
+        """Construct the application's flow graph (fresh per run)."""
+        ...
+
+    def build_deployment(self) -> Deployment:
+        """Construct the thread-group to node mapping."""
+        ...
+
+    def bootstrap(self, runtime: Runtime) -> None:
+        """Inject the initial data objects into the runtime."""
+        ...
+
+    def migration_planner(self) -> Optional[MigrationPlanner]:
+        """State-migration policy for dynamic allocation (None: default)."""
+        ...

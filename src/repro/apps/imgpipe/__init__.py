@@ -1,0 +1,5 @@
+"""Split/merge image-processing farm (quickstart example application)."""
+
+from repro.apps.imgpipe.app import ImagePipelineApplication, ImagePipelineConfig
+
+__all__ = ["ImagePipelineApplication", "ImagePipelineConfig"]

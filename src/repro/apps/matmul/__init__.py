@@ -1,0 +1,5 @@
+"""Standalone parallel matrix multiplication (paper Fig. 7)."""
+
+from repro.apps.matmul.app import MatmulApplication, MatmulConfig
+
+__all__ = ["MatmulApplication", "MatmulConfig"]

@@ -1,0 +1,24 @@
+"""Parallel sample sort: all-to-all exchange over DPS flow graphs."""
+
+from repro.apps.sort.app import SampleSortApplication, SampleSortConfig
+from repro.apps.sort.kernels import (
+    SampleSortCostModel,
+    choose_splitters,
+    local_sort_spec,
+    merge_runs_spec,
+    partition_by_splitters,
+    partition_spec,
+    sample_sort_rate_factors,
+)
+
+__all__ = [
+    "SampleSortApplication",
+    "SampleSortConfig",
+    "SampleSortCostModel",
+    "choose_splitters",
+    "local_sort_spec",
+    "merge_runs_spec",
+    "partition_by_splitters",
+    "partition_spec",
+    "sample_sort_rate_factors",
+]

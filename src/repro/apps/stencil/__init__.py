@@ -1,0 +1,22 @@
+"""Jacobi stencil application: neighborhood exchange over DPS flow graphs."""
+
+from repro.apps.stencil.app import StencilApplication, StencilConfig
+from repro.apps.stencil.kernels import (
+    StencilCostModel,
+    initial_grid,
+    jacobi_spec,
+    jacobi_sweep,
+    reference_jacobi,
+    stencil_rate_factors,
+)
+
+__all__ = [
+    "StencilApplication",
+    "StencilConfig",
+    "StencilCostModel",
+    "initial_grid",
+    "jacobi_spec",
+    "jacobi_sweep",
+    "reference_jacobi",
+    "stencil_rate_factors",
+]

@@ -1,0 +1,67 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``lu`` / ``stencil`` / ``sort`` / ``matmul`` — run an application under
+  the simulator (prediction), the virtual cluster (measurement) or both.
+* ``efficiency`` — per-iteration dynamic efficiency of an LU run (Fig. 11).
+* ``calibrate`` — characterize a network model's latency and bandwidth.
+* ``graph`` — dump an application's flow-graph structure.
+* ``server`` — cluster-level scheduling of malleable jobs (paper §9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cli.apps import (
+    add_lu_parser,
+    add_matmul_parser,
+    add_sort_parser,
+    add_stencil_parser,
+)
+from repro.cli.server import add_server_parser
+from repro.cli.tools import (
+    add_calibrate_parser,
+    add_efficiency_parser,
+    add_graph_parser,
+)
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Simulator for parallel applications with dynamically varying "
+            "compute node allocation (Schaeli, Gerlach, Hersch; IPPS 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lu_parser(sub)
+    add_stencil_parser(sub)
+    add_sort_parser(sub)
+    add_matmul_parser(sub)
+    add_efficiency_parser(sub)
+    add_calibrate_parser(sub)
+    add_graph_parser(sub)
+    add_server_parser(sub)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["build_parser", "main"]

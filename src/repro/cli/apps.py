@@ -1,0 +1,218 @@
+"""Application subcommands: run LU, stencil, sample sort or matmul runs."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.apps.matmul import MatmulApplication, MatmulConfig
+from repro.apps.sort import SampleSortApplication, SampleSortConfig, SampleSortCostModel
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.cli.common import (
+    add_engine_options,
+    parse_kill_events,
+    parse_mode,
+    run_app,
+)
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import MachineCostModel
+
+
+# --------------------------------------------------------------------------
+# lu
+# --------------------------------------------------------------------------
+
+
+def add_lu_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``lu`` subcommand."""
+    p = sub.add_parser(
+        "lu",
+        help="parallel block LU factorization (the paper's test application)",
+        description=(
+            "Run the LU application under the simulator and/or the virtual "
+            "cluster, with the paper's flow-graph variants (P, FC, PM) and "
+            "dynamic thread-removal strategies."
+        ),
+    )
+    p.add_argument("--n", type=int, default=2592, help="matrix size")
+    p.add_argument("--r", type=int, default=324, help="decomposition block size")
+    p.add_argument("--threads", type=int, default=8, help="worker threads")
+    p.add_argument("--nodes", type=int, default=4, help="compute nodes")
+    p.add_argument("--pipelined", action="store_true", help="P variant (Fig. 5)")
+    p.add_argument(
+        "--fc", type=int, default=None, metavar="CREDITS",
+        help="flow-control credit limit (FC variant)",
+    )
+    p.add_argument(
+        "--pm", type=int, default=None, metavar="S",
+        help="parallel sub-block multiplication size (PM variant, Fig. 7)",
+    )
+    p.add_argument(
+        "--kill", action="append", metavar="T,..@K", default=None,
+        help="remove worker threads T,.. after iteration K (repeatable)",
+    )
+    add_engine_options(p)
+    p.set_defaults(func=cmd_lu)
+
+
+def cmd_lu(args: argparse.Namespace) -> int:
+    """Run one LU configuration per the CLI options."""
+    cfg = LUConfig(
+        n=args.n,
+        r=args.r,
+        num_threads=args.threads,
+        num_nodes=args.nodes,
+        pipelined=args.pipelined,
+        flow_control=args.fc,
+        pm_subblock=args.pm,
+        schedule=parse_kill_events(args.kill),
+        mode=parse_mode(args.mode),
+    )
+    print(f"LU {cfg.n}x{cfg.n}, r={cfg.r}, variant={cfg.variant_name}, "
+          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes, "
+          f"schedule={cfg.schedule.name}")
+    return run_app(
+        args,
+        build_app=lambda: LUApplication(cfg),
+        cost_model_factory=lambda: LUCostModel(PAPER_CLUSTER.machine, cfg.r),
+        num_nodes=cfg.num_nodes,
+        verify=lambda app, runtime: app.verify(runtime),
+    )
+
+
+# --------------------------------------------------------------------------
+# stencil
+# --------------------------------------------------------------------------
+
+
+def add_stencil_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``stencil`` subcommand."""
+    p = sub.add_parser(
+        "stencil",
+        help="iterative Jacobi relaxation with halo exchange",
+        description=(
+            "Run the Jacobi stencil application; --barrier separates "
+            "iterations through the main node and permits --kill."
+        ),
+    )
+    p.add_argument("--n", type=int, default=768, help="grid side")
+    p.add_argument("--stripes", type=int, default=8, help="row stripes")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--threads", type=int, default=4, help="worker threads")
+    p.add_argument("--nodes", type=int, default=4, help="compute nodes")
+    p.add_argument("--barrier", action="store_true", help="basic (barrier) variant")
+    p.add_argument(
+        "--kill", action="append", metavar="T,..@K", default=None,
+        help="remove worker threads T,.. after iteration K (needs --barrier)",
+    )
+    add_engine_options(p)
+    p.set_defaults(func=cmd_stencil)
+
+
+def cmd_stencil(args: argparse.Namespace) -> int:
+    """Run one stencil configuration per the CLI options."""
+    cfg = StencilConfig(
+        n=args.n,
+        stripes=args.stripes,
+        iterations=args.iterations,
+        num_threads=args.threads,
+        num_nodes=args.nodes,
+        barrier=args.barrier,
+        schedule=parse_kill_events(args.kill),
+        mode=parse_mode(args.mode),
+    )
+    variant = "barrier" if cfg.barrier else "pipelined"
+    print(f"stencil {cfg.n}x{cfg.n}, {cfg.stripes} stripes, "
+          f"{cfg.iterations} iterations, {variant}, "
+          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
+    return run_app(
+        args,
+        build_app=lambda: StencilApplication(cfg),
+        cost_model_factory=lambda: StencilCostModel(
+            PAPER_CLUSTER.machine, cfg.rows, cfg.n
+        ),
+        num_nodes=cfg.num_nodes,
+        verify=lambda app, runtime: app.verify(runtime),
+    )
+
+
+# --------------------------------------------------------------------------
+# sort
+# --------------------------------------------------------------------------
+
+
+def add_sort_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``sort`` subcommand."""
+    p = sub.add_parser(
+        "sort",
+        help="parallel sample sort (all-to-all exchange)",
+        description="Run the sample-sort application.",
+    )
+    p.add_argument("--m", type=int, default=1 << 17, help="number of keys")
+    p.add_argument("--threads", type=int, default=4, help="worker threads")
+    p.add_argument("--nodes", type=int, default=4, help="compute nodes")
+    add_engine_options(p)
+    p.set_defaults(func=cmd_sort)
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    """Run one sample-sort configuration per the CLI options."""
+    cfg = SampleSortConfig(
+        m=args.m,
+        num_threads=args.threads,
+        num_nodes=args.nodes,
+        mode=parse_mode(args.mode),
+    )
+    print(f"sample sort of {cfg.m} keys, "
+          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
+    return run_app(
+        args,
+        build_app=lambda: SampleSortApplication(cfg),
+        cost_model_factory=lambda: SampleSortCostModel(
+            PAPER_CLUSTER.machine, cfg.block, cfg.num_threads
+        ),
+        num_nodes=cfg.num_nodes,
+        verify=lambda app, runtime: app.verify(),
+    )
+
+
+# --------------------------------------------------------------------------
+# matmul
+# --------------------------------------------------------------------------
+
+
+def add_matmul_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``matmul`` subcommand."""
+    p = sub.add_parser(
+        "matmul",
+        help="parallel matrix multiplication (Fig. 7 flow graph)",
+        description="Run the standalone matrix-multiplication application.",
+    )
+    p.add_argument("--n", type=int, default=512, help="matrix size")
+    p.add_argument("--s", type=int, default=128, help="sub-block size")
+    p.add_argument("--threads", type=int, default=4, help="worker threads")
+    p.add_argument("--nodes", type=int, default=2, help="compute nodes")
+    add_engine_options(p)
+    p.set_defaults(func=cmd_matmul)
+
+
+def cmd_matmul(args: argparse.Namespace) -> int:
+    """Run one matrix-multiplication configuration per the CLI options."""
+    cfg = MatmulConfig(
+        n=args.n,
+        s=args.s,
+        num_threads=args.threads,
+        num_nodes=args.nodes,
+        mode=parse_mode(args.mode),
+    )
+    print(f"matmul {cfg.n}x{cfg.n}, s={cfg.s}, "
+          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
+    return run_app(
+        args,
+        build_app=lambda: MatmulApplication(cfg),
+        cost_model_factory=lambda: MachineCostModel(PAPER_CLUSTER.machine),
+        num_nodes=cfg.num_nodes,
+        verify=lambda app, runtime: app.verify(),
+    )

@@ -1,0 +1,141 @@
+"""Shared plumbing for the command-line interface.
+
+The CLI mirrors the paper's workflow: the same application object runs
+under the simulator (*prediction*) or on the virtual cluster
+(*measurement*), selected by ``--engine``; ``--engine both`` reports the
+prediction error, the quantity Fig. 13 histograms.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Optional
+
+from repro.apps.base import Application
+from repro.dps.malleability import STATIC, AllocationEvent, AllocationSchedule
+from repro.dps.runtime import DurationProvider
+from repro.errors import ConfigurationError
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER, PlatformSpec
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+#: CLI names for the simulation modes
+MODE_NAMES = {
+    "direct": SimulationMode.DIRECT,
+    "pdexec": SimulationMode.PDEXEC,
+    "noalloc": SimulationMode.PDEXEC_NOALLOC,
+}
+
+
+def parse_mode(name: str) -> SimulationMode:
+    """Map a CLI mode name to a :class:`SimulationMode`."""
+    try:
+        return MODE_NAMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mode {name!r}; choose from {sorted(MODE_NAMES)}"
+        ) from None
+
+
+def parse_kill_events(specs: Optional[list[str]]) -> AllocationSchedule:
+    """Parse ``--kill "4,5,6,7@1"`` specifications into a schedule.
+
+    Each spec reads *remove threads <indices> after iteration <k>*; the
+    phase label follows the apps' ``iter<k>`` convention.
+    """
+    if not specs:
+        return STATIC
+    events = []
+    for spec in specs:
+        try:
+            indices_part, phase_part = spec.split("@", 1)
+            indices = tuple(int(x) for x in indices_part.split(",") if x.strip())
+            after = int(phase_part)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad --kill spec {spec!r}; expected e.g. '4,5,6,7@1'"
+            ) from None
+        if not indices:
+            raise ConfigurationError(f"--kill spec {spec!r} removes no threads")
+        events.append(AllocationEvent(f"iter{after}", "workers", indices))
+    name = " + ".join(specs)
+    return AllocationSchedule(events=tuple(events), name=f"kill {name}")
+
+
+def add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the engine/mode/seed options every app command shares."""
+    parser.add_argument(
+        "--engine",
+        choices=("sim", "testbed", "both"),
+        default="sim",
+        help="prediction (sim), measurement (testbed), or both + error",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=sorted(MODE_NAMES),
+        default="pdexec",
+        help="pdexec keeps payloads (verifiable); noalloc elides them",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="testbed noise seed (one 'run')"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the numerical result (needs --mode pdexec)",
+    )
+
+
+def run_app(
+    args: argparse.Namespace,
+    build_app: Callable[[], Application],
+    cost_model_factory: Callable[[], "object"],
+    num_nodes: int,
+    verify: Optional[Callable[[Application, object], None]] = None,
+    platform: Optional[PlatformSpec] = None,
+) -> int:
+    """Run an application per the engine options and print the outcome."""
+    mode = parse_mode(args.mode)
+    run_kernels = mode.runs_kernels
+    platform = platform or PAPER_CLUSTER
+
+    predicted = measured = None
+    if args.engine in ("sim", "both"):
+        app = build_app()
+        provider: DurationProvider
+        if mode is SimulationMode.DIRECT:
+            # Direct execution: time the real kernels on this host, scale
+            # to the target machine (Table 1's first simulator mode).
+            from repro.sim.providers import DirectExecutionProvider, HostCalibration
+
+            provider = DirectExecutionProvider(
+                HostCalibration(platform.machine)
+            )
+        else:
+            provider = CostModelProvider(
+                cost_model_factory(), run_kernels=run_kernels
+            )
+        result = DPSSimulator(platform, provider).run(app)
+        predicted = result.predicted_time
+        print(f"predicted running time : {predicted:.4f} s")
+        print(f"simulation wall time   : {result.simulation_wall_time:.4f} s")
+        print(f"kernel events          : {result.events}")
+        if args.verify and verify is not None:
+            verify(app, result.runtime)
+            print("verification           : OK")
+    if args.engine in ("testbed", "both"):
+        app = build_app()
+        cluster = VirtualCluster(num_nodes=num_nodes, seed=args.seed)
+        measurement = TestbedExecutor(cluster, run_kernels=run_kernels).run(app)
+        measured = measurement.measured_time
+        print(f"measured running time  : {measured:.4f} s")
+        if args.verify and verify is not None:
+            verify(app, measurement.runtime)
+            print("verification           : OK")
+    if predicted is not None and measured is not None:
+        error = (predicted - measured) / measured
+        print(f"prediction error       : {error:+.2%}")
+    return 0

@@ -1,0 +1,123 @@
+"""The ``server`` subcommand: cluster-level scheduling comparison (paper §9)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import ascii_table
+from repro.clusterserver import (
+    AdaptiveEfficiencyScheduler,
+    ClusterServer,
+    EquipartitionScheduler,
+    FcfsScheduler,
+    Scheduler,
+    StaticScheduler,
+    mixed_workload,
+    synthetic_workload,
+)
+from repro.errors import ConfigurationError
+
+
+def _policies(names: list[str], nodes_per_job: int, floor: float) -> list[Scheduler]:
+    registry = {
+        "static": lambda: StaticScheduler(nodes_per_job),
+        "fcfs": lambda: FcfsScheduler(),
+        "backfill": lambda: FcfsScheduler(backfill=True),
+        "equipartition": lambda: EquipartitionScheduler(),
+        "adaptive": lambda: AdaptiveEfficiencyScheduler(floor),
+    }
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown policies {unknown}; choose from {sorted(registry)}"
+        )
+    return [registry[name]() for name in names]
+
+
+def add_server_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``server`` subcommand."""
+    p = sub.add_parser(
+        "server",
+        help="cluster server with malleable jobs (the paper's future work)",
+        description=(
+            "Simulate a cluster serving a stream of malleable jobs under "
+            "one or more scheduling policies, and compare turnaround, "
+            "cluster efficiency and service rate."
+        ),
+    )
+    p.add_argument("--nodes", type=int, default=16, help="cluster size")
+    p.add_argument("--jobs", type=int, default=16, help="workload length")
+    p.add_argument(
+        "--interarrival", type=float, default=25.0,
+        help="mean seconds between job arrivals",
+    )
+    p.add_argument(
+        "--workload", choices=("lu", "mixed"), default="lu",
+        help="lu: LU-like decaying jobs; mixed: adds stencil and ramp-up shapes",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="policy to run (repeatable); default: all of "
+             "static, fcfs, backfill, equipartition, adaptive",
+    )
+    p.add_argument(
+        "--nodes-per-job", type=int, default=8,
+        help="static policy's fixed per-job allocation",
+    )
+    p.add_argument(
+        "--efficiency-floor", type=float, default=0.5,
+        help="adaptive policy's marginal-efficiency threshold",
+    )
+    p.set_defaults(func=cmd_server)
+
+
+def cmd_server(args: argparse.Namespace) -> int:
+    """Simulate the workload under each requested policy and print a table."""
+    make = mixed_workload if args.workload == "mixed" else synthetic_workload
+    specs = make(
+        jobs=args.jobs,
+        mean_interarrival=args.interarrival,
+        seed=args.seed,
+        max_nodes=min(8, args.nodes),
+    )
+    names = args.policy or [
+        "static", "fcfs", "backfill", "equipartition", "adaptive"
+    ]
+    policies = _policies(names, args.nodes_per_job, args.efficiency_floor)
+    print(
+        f"{args.jobs} {args.workload} jobs on {args.nodes} nodes, "
+        f"mean interarrival {args.interarrival:.0f} s, seed {args.seed}\n"
+    )
+    rows = []
+    for policy in policies:
+        result = ClusterServer(args.nodes, policy).run(specs)
+        rows.append(
+            (
+                result.scheduler,
+                f"{result.makespan:.1f}",
+                f"{result.mean_turnaround:.1f}",
+                f"{result.mean_wait:.1f}",
+                f"{result.mean_slowdown:.2f}",
+                f"{result.cluster_efficiency * 100:.1f}%",
+                f"{result.service_rate:.3f}",
+            )
+        )
+    print(
+        ascii_table(
+            (
+                "policy",
+                "makespan [s]",
+                "turnaround [s]",
+                "wait [s]",
+                "slowdown",
+                "cluster eff.",
+                "service rate",
+            ),
+            rows,
+        )
+    )
+    return 0

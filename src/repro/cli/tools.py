@@ -1,0 +1,205 @@
+"""Tool subcommands: network calibration, dynamic efficiency, graph dump."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import ascii_bar_chart, ascii_table
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.cli.common import parse_kill_events
+from repro.netmodel.calibration import calibrate
+from repro.netmodel.packet import PacketNetwork
+from repro.netmodel.star import EqualShareStarNetwork
+from repro.sim.efficiency import dynamic_efficiency, mean_efficiency
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+
+
+# --------------------------------------------------------------------------
+# calibrate
+# --------------------------------------------------------------------------
+
+
+def add_calibrate_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``calibrate`` subcommand."""
+    p = sub.add_parser(
+        "calibrate",
+        help="measure latency/bandwidth of a network model",
+        description=(
+            "Run the standard characterization experiment (t = l + s/b fit "
+            "over single transfers) against a network model — the per-machine "
+            "measurement the paper requires before simulating."
+        ),
+    )
+    p.add_argument(
+        "--target",
+        choices=("testbed", "star"),
+        default="testbed",
+        help="testbed: the packet-level ground truth; star: the paper model",
+    )
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--seed", type=int, default=99)
+    p.set_defaults(func=cmd_calibrate)
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit (latency, bandwidth) of the chosen network model and print them."""
+    if args.target == "testbed":
+        cluster = VirtualCluster(num_nodes=args.nodes, seed=args.seed)
+        factory = lambda kernel: PacketNetwork(  # noqa: E731
+            kernel, cluster.network, cluster.packet_params, seed=args.seed
+        )
+    else:
+        factory = lambda kernel: EqualShareStarNetwork(  # noqa: E731
+            kernel, PAPER_CLUSTER.network
+        )
+    result = calibrate(factory)
+    rows = [
+        (size, f"{time * 1e3:.3f} ms")
+        for size, time in zip(result.sizes, result.times)
+    ]
+    print(ascii_table(("size [B]", "transfer time"), rows,
+                      title=f"calibration probes ({args.target})"))
+    print(f"fitted latency   : {result.latency * 1e6:.1f} us")
+    print(f"fitted bandwidth : {result.bandwidth / 1e6:.2f} MB/s")
+    print(f"fit residual rms : {result.residual_rms * 1e6:.1f} us")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# efficiency
+# --------------------------------------------------------------------------
+
+
+def add_efficiency_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``efficiency`` subcommand."""
+    p = sub.add_parser(
+        "efficiency",
+        help="per-iteration dynamic efficiency of an LU run (Fig. 11)",
+        description=(
+            "Simulate an LU configuration and print the paper's dynamic "
+            "efficiency — utilization per iteration — optionally under a "
+            "dynamic thread-removal schedule."
+        ),
+    )
+    p.add_argument("--n", type=int, default=2592)
+    p.add_argument("--r", type=int, default=324)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument(
+        "--kill", action="append", metavar="T,..@K", default=None,
+        help="remove worker threads T,.. after iteration K (repeatable)",
+    )
+    p.set_defaults(func=cmd_efficiency)
+
+
+def cmd_efficiency(args: argparse.Namespace) -> int:
+    """Simulate an LU run and print its per-iteration dynamic efficiency."""
+    cfg = LUConfig(
+        n=args.n,
+        r=args.r,
+        num_threads=args.threads,
+        num_nodes=args.nodes,
+        schedule=parse_kill_events(args.kill),
+        mode=SimulationMode.PDEXEC_NOALLOC,
+    )
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(LUCostModel(PAPER_CLUSTER.machine, cfg.r)),
+    )
+    result = sim.run(LUApplication(cfg))
+    series = dynamic_efficiency(result.run)
+    rows = [
+        (
+            p.label,
+            f"{p.duration:.2f} s",
+            f"{p.mean_nodes:.2f}",
+            f"{p.efficiency:.1%}",
+        )
+        for p in series
+    ]
+    print(ascii_table(
+        ("iteration", "duration", "mean nodes", "efficiency"),
+        rows,
+        title=f"dynamic efficiency, schedule={cfg.schedule.name}",
+    ))
+    print()
+    print(ascii_bar_chart(
+        [p.label for p in series],
+        [p.efficiency for p in series],
+        fmt="{:.1%}",
+        title="efficiency per iteration",
+    ))
+    print(f"\npredicted running time : {result.predicted_time:.2f} s")
+    print(f"whole-run efficiency   : {mean_efficiency(result.run):.1%}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# graph
+# --------------------------------------------------------------------------
+
+
+def add_graph_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``graph`` subcommand."""
+    p = sub.add_parser(
+        "graph",
+        help="dump an application's flow-graph structure",
+        description="Print the vertices and edges of an application's flow graph.",
+    )
+    p.add_argument(
+        "app",
+        choices=("lu", "lu-pipelined", "stencil", "stencil-barrier", "sort", "matmul"),
+    )
+    p.set_defaults(func=cmd_graph)
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    """Print the vertices and edges of the chosen application's flow graph."""
+    from repro.apps.matmul import MatmulApplication, MatmulConfig
+    from repro.apps.sort import SampleSortApplication, SampleSortConfig
+    from repro.apps.stencil import StencilApplication, StencilConfig
+
+    noalloc = SimulationMode.PDEXEC_NOALLOC
+    builders = {
+        "lu": lambda: LUApplication(LUConfig(n=648, r=216, mode=noalloc)),
+        "lu-pipelined": lambda: LUApplication(
+            LUConfig(n=648, r=216, pipelined=True, mode=noalloc)
+        ),
+        "stencil": lambda: StencilApplication(
+            StencilConfig(n=16, stripes=2, iterations=2, num_threads=2,
+                          num_nodes=2, mode=noalloc)
+        ),
+        "stencil-barrier": lambda: StencilApplication(
+            StencilConfig(n=16, stripes=2, iterations=2, num_threads=2,
+                          num_nodes=2, barrier=True, mode=noalloc)
+        ),
+        "sort": lambda: SampleSortApplication(
+            SampleSortConfig(m=64, num_threads=2, num_nodes=2, mode=noalloc)
+        ),
+        "matmul": lambda: MatmulApplication(
+            MatmulConfig(n=64, s=32, num_threads=2, num_nodes=2, mode=noalloc)
+        ),
+    }
+    graph = builders[args.app]().build_graph()
+    rows = [
+        (v.name, v.kind.value, v.group,
+         v.closes or "", v.max_in_flight or "")
+        for v in graph.vertices.values()
+    ]
+    print(ascii_table(
+        ("vertex", "kind", "group", "closes", "credits"),
+        rows,
+        title=f"flow graph {graph.name!r}",
+    ))
+    print()
+    edge_rows = [
+        (e.src, "->", e.dst, type(e.routing).__name__) for e in graph.edges
+    ]
+    print(ascii_table(("from", "", "to", "routing"), edge_rows, title="edges"))
+    return 0

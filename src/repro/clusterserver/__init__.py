@@ -1,0 +1,51 @@
+"""Cluster server simulation — the paper's future work, implemented.
+
+"In the future, we intend to extend the simulation framework in order to
+simulate a cluster server running concurrently multiple, possibly
+different applications whose allocations of compute nodes vary dynamically
+over time." — paper, section 9.
+
+This subpackage simulates such a server: malleable jobs characterized by
+their **dynamic efficiency profiles** (as produced by the DPS simulator for
+the LU application) arrive over time, and a scheduler decides how many
+nodes each running job holds, reallocating on arrivals and departures.
+The benches compare static allocation against dynamic-efficiency-aware
+policies, quantifying the service-rate gains the paper argues for.
+"""
+
+from repro.clusterserver.workload import (
+    JobSpec,
+    MalleableJob,
+    amdahl_efficiency,
+    lu_like_job,
+    mixed_workload,
+    rampup_job,
+    stencil_like_job,
+    synthetic_workload,
+)
+from repro.clusterserver.scheduler import (
+    AdaptiveEfficiencyScheduler,
+    EquipartitionScheduler,
+    FcfsScheduler,
+    Scheduler,
+    StaticScheduler,
+)
+from repro.clusterserver.server import ClusterServer, ServerResult
+
+__all__ = [
+    "JobSpec",
+    "MalleableJob",
+    "amdahl_efficiency",
+    "lu_like_job",
+    "stencil_like_job",
+    "rampup_job",
+    "synthetic_workload",
+    "mixed_workload",
+    "Scheduler",
+    "StaticScheduler",
+    "FcfsScheduler",
+    "EquipartitionScheduler",
+    "AdaptiveEfficiencyScheduler",
+    "ClusterServer",
+    "ServerResult",
+]

@@ -1,0 +1,215 @@
+"""Node-allocation policies for the cluster server.
+
+Three policies bracket the design space the paper motivates:
+
+* :class:`StaticScheduler` — conventional fixed allocation: a job gets its
+  nodes at start and keeps them to the end (the baseline the paper argues
+  against),
+* :class:`EquipartitionScheduler` — classic malleable scheduling: nodes
+  divided evenly among running jobs, reallocated on arrivals/departures,
+* :class:`AdaptiveEfficiencyScheduler` — dynamic-efficiency-aware: jobs
+  whose *current phase* no longer uses nodes efficiently (as the LU tail
+  iterations don't) are shrunk, releasing nodes for queued or efficient
+  jobs — the policy the paper's simulator exists to enable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.clusterserver.workload import MalleableJob
+from repro.errors import ConfigurationError
+
+
+class Scheduler(ABC):
+    """Decides each running job's node count at every scheduling point."""
+
+    name = "scheduler"
+
+    @abstractmethod
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        """Return the node count for every running job (0 allowed).
+
+        The sum over jobs must not exceed ``total_nodes``.
+        """
+
+
+def _clamp(job: MalleableJob, nodes: int) -> int:
+    return max(
+        0, min(int(nodes), job.spec.max_nodes)
+    )
+
+
+class StaticScheduler(Scheduler):
+    """Fixed allocation: first-come first-served, never resized.
+
+    A job receives ``nodes_per_job`` when enough nodes are free, and holds
+    them until completion; later arrivals queue.
+    """
+
+    name = "static"
+
+    def __init__(self, nodes_per_job: int) -> None:
+        if nodes_per_job < 1:
+            raise ConfigurationError("nodes_per_job must be >= 1")
+        self.nodes_per_job = nodes_per_job
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        allocation: dict[MalleableJob, int] = {}
+        free = total_nodes
+        for job in running:
+            if job.nodes > 0:
+                # Static: once granted, keep exactly the same allocation.
+                allocation[job] = job.nodes
+                free -= job.nodes
+        for job in running:
+            if job not in allocation or allocation[job] == 0:
+                want = _clamp(job, self.nodes_per_job)
+                if want <= free:
+                    allocation[job] = want
+                    free -= want
+                else:
+                    allocation[job] = 0
+        return allocation
+
+
+class FcfsScheduler(Scheduler):
+    """First-come first-served at each job's *requested* size.
+
+    Jobs receive ``spec.request`` nodes in arrival order and keep them to
+    completion.  Without backfill, a large job at the head of the queue
+    blocks everything behind it; with ``backfill=True`` later jobs that fit
+    in the leftover nodes start immediately.  (Jobs are fluid and have no
+    reservations, so this is the aggressive/"EASY-without-reservations"
+    flavour of backfilling.)
+    """
+
+    def __init__(self, backfill: bool = False) -> None:
+        self.backfill = backfill
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "fcfs+backfill" if self.backfill else "fcfs"
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        allocation: dict[MalleableJob, int] = {}
+        free = total_nodes
+        # Started jobs are rigid: they keep their grant.
+        for job in running:
+            if job.nodes > 0:
+                allocation[job] = job.nodes
+                free -= job.nodes
+        queued = sorted(
+            (j for j in running if allocation.get(j, 0) == 0),
+            key=lambda j: j.spec.arrival,
+        )
+        for job in queued:
+            want = _clamp(job, job.spec.request) or job.spec.min_nodes
+            if want <= free:
+                allocation[job] = want
+                free -= want
+            else:
+                allocation[job] = 0
+                if not self.backfill:
+                    break  # head-of-line blocking
+        for job in queued:
+            allocation.setdefault(job, 0)
+        return allocation
+
+
+class EquipartitionScheduler(Scheduler):
+    """Divide the cluster evenly among running jobs (classic malleable)."""
+
+    name = "equipartition"
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        active = [j for j in running if not j.done]
+        if not active:
+            return {}
+        base = total_nodes // len(active)
+        extra = total_nodes % len(active)
+        allocation = {}
+        free = 0
+        for i, job in enumerate(sorted(active, key=lambda j: j.spec.arrival)):
+            share = base + (1 if i < extra else 0)
+            granted = _clamp(job, max(share, job.spec.min_nodes if share else 0))
+            allocation[job] = min(granted, share) if share else 0
+            free += share - allocation[job]
+        # Redistribute capped-away nodes greedily by arrival order.
+        for job in sorted(active, key=lambda j: j.spec.arrival):
+            if free <= 0:
+                break
+            room = job.spec.max_nodes - allocation[job]
+            take = min(room, free)
+            allocation[job] += take
+            free -= take
+        return allocation
+
+
+class AdaptiveEfficiencyScheduler(Scheduler):
+    """Shrink jobs whose current phase uses nodes inefficiently.
+
+    For each job, pick the largest node count whose *marginal* efficiency
+    stays above ``efficiency_floor`` — i.e. stop adding nodes once an extra
+    node buys less than ``efficiency_floor`` of a node's worth of
+    throughput.  Freed nodes go to queued/efficient jobs, raising the
+    cluster's service rate exactly as section 8 of the paper describes
+    ("the service rate of the cluster can be significantly increased if
+    the deallocated compute nodes are assigned to other applications").
+    """
+
+    name = "adaptive"
+
+    def __init__(self, efficiency_floor: float = 0.5) -> None:
+        if not 0.0 < efficiency_floor <= 1.0:
+            raise ConfigurationError("efficiency_floor must be in (0, 1]")
+        self.efficiency_floor = efficiency_floor
+
+    def _desired(self, job: MalleableJob, cap: int) -> int:
+        best = job.spec.min_nodes
+        prev_rate = 0.0
+        for n in range(1, min(cap, job.spec.max_nodes) + 1):
+            rate = n * job.spec.efficiency(n)
+            marginal = rate - prev_rate
+            if n > 1 and marginal < self.efficiency_floor:
+                break
+            best = n
+            prev_rate = rate
+        return best
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        active = sorted(
+            (j for j in running if not j.done), key=lambda j: j.spec.arrival
+        )
+        if not active:
+            return {}
+        allocation = {job: 0 for job in active}
+        free = total_nodes
+        # First pass: everyone gets their minimum, by arrival order.
+        for job in active:
+            grant = min(job.spec.min_nodes, free)
+            allocation[job] = grant
+            free -= grant
+            if free <= 0:
+                break
+        # Second pass: grow each job up to its efficient size.
+        for job in active:
+            if free <= 0:
+                break
+            desired = self._desired(job, allocation[job] + free)
+            grow = max(0, desired - allocation[job])
+            take = min(grow, free)
+            allocation[job] += take
+            free -= take
+        return allocation

@@ -1,0 +1,44 @@
+"""Processing-power models.
+
+Section 4 of the paper: "Receiving data objects induces more interrupts and
+more memory copies than sending data objects, and is thus more costly.
+Moreover, the consumed processing power depends on the number of outgoing
+and incoming communications. [...] The processing power not used for
+communications is shared evenly among all running operations."
+
+This subpackage provides
+
+* :class:`~repro.cpumodel.machines.MachineProfile` — flops-to-seconds
+  conversion with a cache-dependent efficiency curve,
+* :class:`~repro.cpumodel.commcost.CommCostModel` — processing power
+  consumed by concurrent communications,
+* :class:`~repro.cpumodel.shared.SharedCpuModel` — the paper's even-sharing
+  model, and
+* :class:`~repro.cpumodel.timeslice.TimesliceCpuModel` — the testbed's
+  finer model with context-switch overhead and seeded OS noise.
+"""
+
+from repro.cpumodel.machines import (
+    MachineProfile,
+    PENTIUM4_2800,
+    ULTRASPARC_II_440,
+    MODERN_XEON,
+)
+from repro.cpumodel.commcost import CommCostModel, CommCostParams
+from repro.cpumodel.base import CpuModel, CpuTaskHandle
+from repro.cpumodel.shared import SharedCpuModel
+from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+
+__all__ = [
+    "MachineProfile",
+    "ULTRASPARC_II_440",
+    "PENTIUM4_2800",
+    "MODERN_XEON",
+    "CommCostModel",
+    "CommCostParams",
+    "CpuModel",
+    "CpuTaskHandle",
+    "SharedCpuModel",
+    "TimesliceCpuModel",
+    "TimesliceParams",
+]

@@ -1,0 +1,90 @@
+"""Abstract CPU-model interface.
+
+A CPU model executes *compute atomic steps*: quantities of work expressed in
+seconds-at-full-dedicated-power on the node's machine profile.  The model
+decides how long a step really takes given everything else running on the
+node (other operations, communication handling).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.cpumodel.commcost import CommCostModel
+from repro.des.fluid import FluidTask
+from repro.des.kernel import Kernel
+from repro.netmodel.base import NetworkModel
+
+CompletionCallback = Callable[["CpuTaskHandle"], None]
+
+
+class CpuTaskHandle:
+    """Handle to a compute step admitted to a CPU model."""
+
+    __slots__ = ("node", "work", "on_complete", "tag", "fluid")
+
+    def __init__(
+        self,
+        node: int,
+        work: float,
+        on_complete: CompletionCallback,
+        tag: Any = None,
+    ) -> None:
+        self.node = int(node)
+        self.work = float(work)
+        self.on_complete = on_complete
+        self.tag = tag
+        self.fluid: Optional[FluidTask] = None
+
+
+class CpuModel(ABC):
+    """Executes compute steps on virtual nodes, coupled to a network model.
+
+    When a network model is attached, its concurrent-transfer counts reduce
+    the processing power available to compute steps, per the paper's model.
+    """
+
+    def __init__(self, kernel: Kernel, comm_cost: CommCostModel | None = None) -> None:
+        self.kernel = kernel
+        self.comm_cost = comm_cost or CommCostModel()
+        self.network: Optional[NetworkModel] = None
+        #: cumulative busy work completed per node (for utilization metrics)
+        self.completed_work: dict[int, float] = {}
+
+    def attach_network(self, network: NetworkModel) -> None:
+        """Couple to ``network``: transfer activity now consumes CPU power."""
+        self.network = network
+        network.add_listener(self._on_network_change)
+
+    # ------------------------------------------------------------ subclass
+    @abstractmethod
+    def submit(
+        self,
+        node: int,
+        work: float,
+        on_complete: CompletionCallback,
+        tag: Any = None,
+    ) -> CpuTaskHandle:
+        """Admit a compute step of ``work`` seconds-at-full-power on ``node``."""
+
+    @abstractmethod
+    def running_steps(self, node: int) -> int:
+        """Number of compute steps currently running on ``node``."""
+
+    @abstractmethod
+    def _on_network_change(self) -> None:
+        """React to a change in concurrent-transfer counts."""
+
+    # ------------------------------------------------------------- helpers
+    def _node_power(self, node: int) -> float:
+        """Power available for operations on ``node`` (0..1)."""
+        if self.network is None:
+            return 1.0
+        return self.comm_cost.available_power(
+            self.network.concurrent_incoming(node),
+            self.network.concurrent_outgoing(node),
+        )
+
+    def _record_completion(self, node: int, work: float) -> None:
+        self.completed_work[node] = self.completed_work.get(node, 0.0) + work

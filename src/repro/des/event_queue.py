@@ -1,0 +1,111 @@
+"""A cancellable, stable binary-heap event queue.
+
+Events scheduled for the same timestamp pop in FIFO scheduling order, which
+makes simulations deterministic regardless of heap internals.  Cancellation
+is O(1): the handle is flagged and lazily discarded on pop, the standard
+technique for heaps that do not support random removal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event; lets the owner cancel or inspect it."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when it reaches the heap top."""
+        self.cancelled = True
+        # Drop references early: a cancelled transfer-completion event may
+        # otherwise pin a large payload in memory until it pops.
+        self.callback = _cancelled_callback
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, seq={self.seq}, {state})"
+
+
+def _cancelled_callback(*_args: Any) -> None:  # pragma: no cover - never called
+    raise SimulationError("cancelled event executed")
+
+
+class EventQueue:
+    """Priority queue of timestamped callbacks with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute ``time``; returns a handle."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        handle = EventHandle(float(time), next(self._counter), callback, args)
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self._live -= 1
+
+    def pop(self) -> EventHandle:
+        """Remove and return the earliest live event.
+
+        Raises :class:`SimulationError` when empty.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                self._live -= 1
+                return handle
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def clear(self) -> None:
+        """Drop every event (used when tearing a simulation down)."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,226 @@
+"""Fluid (rate-based) task pools.
+
+The paper's network and CPU models are *fluid* models: a data transfer is a
+quantity of bytes drained at a rate that changes whenever the set of
+concurrent transfers changes, and an atomic compute step is a quantity of
+work drained at a rate set by the processing power left over after
+communication handling.  :class:`FluidPool` implements this pattern exactly
+once so both models share it:
+
+* tasks carry ``remaining`` work in arbitrary units,
+* an *allocator* callback assigns a rate to every active task,
+* rates are piecewise-constant: they are recomputed only when pool
+  membership changes (or when an external coupling invalidates them),
+* the pool schedules a single kernel event at the earliest completion time.
+
+This is event-driven exact integration of piecewise-linear progress — no
+time-stepping, which keeps large simulations cheap (the optimization guide's
+"compute less" rule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.des.event_queue import EventHandle
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+
+#: Relative tolerance under which remaining work counts as drained.
+_COMPLETION_RTOL = 1e-9
+#: Absolute tolerance for tasks whose total work is tiny or zero.
+_COMPLETION_ATOL = 1e-12
+
+
+class FluidTask:
+    """A quantity of work drained at a pool-assigned rate.
+
+    Parameters
+    ----------
+    work:
+        Total work in pool units (bytes for networks, seconds-at-full-power
+        for CPU models).  Zero-work tasks complete immediately on admission.
+    on_complete:
+        Callback invoked (with the task) when the work is fully drained.
+    tag:
+        Arbitrary payload for the allocator (e.g. source/destination node).
+    """
+
+    __slots__ = ("work", "remaining", "rate", "on_complete", "tag", "pool", "started_at", "finished_at")
+
+    def __init__(
+        self,
+        work: float,
+        on_complete: Callable[["FluidTask"], None],
+        tag: Any = None,
+    ) -> None:
+        if work < 0.0 or not math.isfinite(work):
+            raise SimulationError(f"task work must be finite and >= 0, got {work!r}")
+        self.work = float(work)
+        self.remaining = float(work)
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.tag = tag
+        self.pool: Optional["FluidPool"] = None
+        self.started_at: float = math.nan
+        self.finished_at: float = math.nan
+
+    @property
+    def active(self) -> bool:
+        """Whether the task is currently admitted to a pool."""
+        return self.pool is not None
+
+    def _drained(self) -> bool:
+        return self.remaining <= max(
+            _COMPLETION_ATOL, self.work * _COMPLETION_RTOL
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FluidTask(work={self.work!r}, remaining={self.remaining!r}, "
+            f"rate={self.rate!r}, tag={self.tag!r})"
+        )
+
+
+#: An allocator receives the active tasks and must set ``task.rate`` on each.
+Allocator = Callable[[list[FluidTask]], None]
+
+
+class FluidPool:
+    """A set of fluid tasks sharing capacity under an allocator policy.
+
+    The allocator must assign a **non-negative finite** rate to every task;
+    a zero rate starves the task (legal — e.g. a compute step on a node whose
+    power is fully consumed by communication handling).
+    """
+
+    def __init__(self, kernel: Kernel, allocator: Allocator, name: str = "") -> None:
+        self.kernel = kernel
+        self.allocator = allocator
+        self.name = name or "fluid-pool"
+        self._tasks: list[FluidTask] = []
+        self._last_update = kernel.now
+        self._event: Optional[EventHandle] = None
+        #: total completed work, for conservation checks in tests
+        self.completed_work = 0.0
+        self.completed_tasks = 0
+
+    # ------------------------------------------------------------ membership
+    @property
+    def tasks(self) -> tuple[FluidTask, ...]:
+        """Snapshot of the active tasks."""
+        return tuple(self._tasks)
+
+    def add(self, task: FluidTask) -> FluidTask:
+        """Admit a task; zero-work tasks complete immediately (synchronously)."""
+        if task.pool is not None:
+            raise SimulationError("task is already admitted to a pool")
+        self._advance()
+        task.pool = self
+        task.started_at = self.kernel.now
+        if task._drained():
+            # Complete without ever occupying capacity.
+            task.pool = None
+            task.remaining = 0.0
+            task.finished_at = self.kernel.now
+            self.completed_tasks += 1
+            task.on_complete(task)
+            # Membership may have changed re-entrantly; reallocate anyway.
+            self._reallocate()
+            return task
+        self._tasks.append(task)
+        self._reallocate()
+        return task
+
+    def remove(self, task: FluidTask) -> None:
+        """Withdraw a task before completion (e.g. a cancelled transfer)."""
+        if task.pool is not self:
+            raise SimulationError("task is not admitted to this pool")
+        self._advance()
+        self._tasks.remove(task)
+        task.pool = None
+        self._reallocate()
+
+    def reallocate(self) -> None:
+        """Force a rate recomputation (for cross-pool couplings).
+
+        The CPU model calls this when the *network* pool's membership
+        changes, because communication handling consumes processing power.
+        """
+        self._advance()
+        self._reallocate()
+
+    # -------------------------------------------------------------- internals
+    def _advance(self) -> None:
+        """Integrate progress since the last rate assignment."""
+        now = self.kernel.now
+        dt = now - self._last_update
+        if dt < 0.0:  # pragma: no cover - defensive
+            raise SimulationError(f"pool {self.name!r}: time went backwards")
+        if dt > 0.0:
+            for task in self._tasks:
+                if task.rate > 0.0:
+                    task.remaining = max(0.0, task.remaining - task.rate * dt)
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        if self._event is not None:
+            self.kernel.cancel(self._event)
+            self._event = None
+        if not self._tasks:
+            return
+        self.allocator(self._tasks)
+        horizon = math.inf
+        for task in self._tasks:
+            if not math.isfinite(task.rate) or task.rate < 0.0:
+                raise SimulationError(
+                    f"pool {self.name!r}: allocator set invalid rate {task.rate!r}"
+                )
+            if task.rate > 0.0:
+                horizon = min(horizon, task.remaining / task.rate)
+        if math.isinf(horizon):
+            # Every task is starved; progress resumes only on membership change.
+            return
+        # The horizon must *advance the clock*: at large timestamps a tiny
+        # residual's horizon can fall below the float64 resolution of
+        # ``now``, and an event that fires at the same instant would drain
+        # nothing and reschedule itself forever (a Zeno freeze).  Padding
+        # to a few ulps of ``now`` overruns true completion by a relatively
+        # negligible amount and keeps progress strictly monotone.
+        min_step = max(_COMPLETION_ATOL, abs(self.kernel.now) * 1e-15)
+        self._event = self.kernel.schedule(max(horizon, min_step), self._on_horizon)
+
+    def _on_horizon(self) -> None:
+        self._event = None
+        self._advance()
+        finished = [t for t in self._tasks if t._drained()]
+        if not finished:
+            # Second Zeno guard: a task whose remaining horizon can no
+            # longer advance the clock is complete for all purposes —
+            # its residual is below the resolution of simulated time.
+            now = self.kernel.now
+            finished = [
+                t
+                for t in self._tasks
+                if t.rate > 0.0 and now + t.remaining / t.rate == now
+            ]
+            if not finished:
+                self._reallocate()
+                return
+        for task in finished:
+            self._tasks.remove(task)
+            task.pool = None
+            self.completed_work += task.work
+            self.completed_tasks += 1
+            task.remaining = 0.0
+            task.finished_at = self.kernel.now
+        # Run completion callbacks *after* detaching all finished tasks so a
+        # callback that admits new work sees a consistent pool.
+        for task in finished:
+            task.on_complete(task)
+        self._advance()
+        self._reallocate()
+
+    def __len__(self) -> int:
+        return len(self._tasks)

@@ -1,0 +1,125 @@
+"""The discrete-event kernel: simulation clock plus run loop.
+
+The kernel is deliberately minimal — callbacks and a clock.  Higher-level
+conveniences (generator processes, fluid pools) are layered on top so that
+performance-critical models can talk to the kernel directly, as the
+optimization guide recommends: keep the hot loop simple and measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.des.event_queue import EventHandle, EventQueue
+from repro.errors import SimulationError
+
+
+class Kernel:
+    """Simulation clock, scheduler and run loop.
+
+    The kernel advances time by executing events in timestamp order.  Time
+    never moves backwards; scheduling an event in the past raises
+    :class:`SimulationError`.
+
+    A ``trace_hook`` — ``hook(time, callback, args)`` — may be installed to
+    observe every dispatched event (used by tests and by the simulator's
+    event trace).
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._executed = 0
+        self.trace_hook: Optional[Callable[[float, Callable[..., None], tuple], None]] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events dispatched so far (cost metric for Table 1)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time!r} < now={self._now!r})"
+            )
+        return self._queue.push(time, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self._queue.cancel(handle)
+
+    # -------------------------------------------------------------- run loop
+    def step(self) -> bool:
+        """Execute the next event; return ``False`` if the queue was empty."""
+        if not self._queue:
+            return False
+        handle = self._queue.pop()
+        if handle.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue returned an event from the past")
+        self._now = handle.time
+        self._executed += 1
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, handle.callback, handle.args)
+        handle.callback(*handle.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at which the loop stopped.  When
+        ``until`` is given and the queue still holds later events, the clock
+        is advanced exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        budget = max_events if max_events is not None else -1
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                if budget == 0:
+                    break
+                self.step()
+                if budget > 0:
+                    budget -= 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running kernel")
+        self._queue.clear()
+        self._now = 0.0
+        self._executed = 0

@@ -1,0 +1,175 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a Python generator that yields *wait descriptors*:
+
+* :class:`Timeout` — resume after a simulated delay,
+* :class:`WaitSignal` — resume when a :class:`Signal` fires (receiving the
+  fired value), and
+* :class:`AllOf` — resume when every child descriptor has completed.
+
+The DPS runtime expresses operation bodies this way; each ``yield`` is also
+an atomic-step boundary, mirroring the paper's suspension of DPS execution
+threads at points where an operation posts a data object or blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Timeout:
+    """Wait descriptor: resume the process after ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0.0:
+            raise SimulationError(f"Timeout delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """A broadcast one-to-many wake-up primitive.
+
+    Processes wait via ``yield WaitSignal(sig)``; ``sig.fire(value)`` resumes
+    every current waiter with ``value``.  Callbacks may also subscribe.
+    """
+
+    __slots__ = ("name", "_waiters", "_fired", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self._fired = False
+        self._value: Any = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the signal has already fired (waiters resume immediately)."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the signal fired with (``None`` before firing)."""
+        return self._value
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` on fire — immediately if already fired."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter.  Firing twice is an error."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+
+class WaitSignal:
+    """Wait descriptor: resume when ``signal`` fires; yields the fired value."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class AllOf:
+    """Wait descriptor: resume when all child descriptors complete.
+
+    Children may be :class:`Timeout` or :class:`WaitSignal` instances.  The
+    process resumes with a list of child results in declaration order.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]) -> None:
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AllOf requires at least one child descriptor")
+
+
+class Process:
+    """Drives a generator over the kernel, one wait descriptor at a time."""
+
+    def __init__(self, kernel: Kernel, gen: ProcessGen, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.done = Signal(f"{self.name}.done")
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "Process":
+        """Begin executing at the current simulation time (asynchronously)."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} started twice")
+        self._started = True
+        self.kernel.schedule(0.0, self._advance, None)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.done.fired
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until finished)."""
+        return self.done.value
+
+    # -- internals -------------------------------------------------------
+    def _advance(self, send_value: Any) -> None:
+        try:
+            descriptor = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.done.fire(stop.value)
+            return
+        self._arm(descriptor, self._advance)
+
+    def _arm(self, descriptor: Any, resume: Callable[[Any], None]) -> None:
+        if isinstance(descriptor, Timeout):
+            self.kernel.schedule(descriptor.delay, resume, None)
+        elif isinstance(descriptor, WaitSignal):
+            descriptor.signal.subscribe(resume)
+        elif isinstance(descriptor, AllOf):
+            self._arm_all(descriptor, resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unknown descriptor: {descriptor!r}"
+            )
+
+    def _arm_all(self, descriptor: AllOf, resume: Callable[[Any], None]) -> None:
+        results: list[Any] = [None] * len(descriptor.children)
+        remaining = len(descriptor.children)
+
+        def make_child_resume(index: int) -> Callable[[Any], None]:
+            def child_resume(value: Any) -> None:
+                nonlocal remaining
+                results[index] = value
+                remaining -= 1
+                if remaining == 0:
+                    resume(results)
+
+            return child_resume
+
+        for i, child in enumerate(descriptor.children):
+            self._arm(child, make_child_resume(i))
+
+
+def spawn(kernel: Kernel, gen: ProcessGen, name: str = "") -> Process:
+    """Create and start a :class:`Process` in one call."""
+    return Process(kernel, gen, name=name).start()

@@ -1,0 +1,88 @@
+"""The Dynamic Parallel Schedules (DPS) framework, reimplemented in Python.
+
+DPS (Gerlach & Hersch, IPDPS 2003) describes parallel applications as
+directed acyclic flow graphs of *operations* — leaf, split, merge and
+stream — exchanging strongly typed *data objects* routed onto *DPS threads*
+by user-defined routing functions.  Execution is macro-dataflow: fully
+pipelined and asynchronous, with per-thread data-object queues and an
+optional credit-based flow-control mechanism.
+
+This reimplementation preserves the concepts the paper's simulator relies
+on:
+
+* operations are **generators**; every ``yield`` is an atomic-step boundary
+  (the paper suspends OS threads at the same points),
+* the runtime executes real application and framework code during
+  simulation (routing functions, instance creation, flow control,
+  malleability), which is what "direct execution" means,
+* execution is backend-pluggable: the paper's simulator
+  (:mod:`repro.sim`) and the ground-truth testbed (:mod:`repro.testbed`)
+  drive the *same* runtime.
+"""
+
+from repro.dps.data_objects import DataObject, Frame
+from repro.dps.serializer import (
+    CountingSerializer,
+    SerializedSizeInfo,
+    payload_nbytes,
+)
+from repro.dps.operations import (
+    Compute,
+    KernelSpec,
+    LeafOperation,
+    MergeOperation,
+    OperationContext,
+    Post,
+    RemoveThreads,
+    SplitOperation,
+    StreamOperation,
+)
+from repro.dps.routing import (
+    Broadcast,
+    ByMetaKey,
+    Constant,
+    Modulo,
+    RoundRobin,
+    RoutingFunction,
+)
+from repro.dps.flowgraph import FlowGraph, VertexKind
+from repro.dps.deployment import Deployment, ThreadId
+from repro.dps.flow_control import FlowControlConfig
+from repro.dps.backend import ExecutionBackend
+from repro.dps.runtime import Runtime, RunResult
+from repro.dps.malleability import AllocationEvent, AllocationSchedule, Migration, MigrationPlanner
+
+__all__ = [
+    "DataObject",
+    "Frame",
+    "CountingSerializer",
+    "SerializedSizeInfo",
+    "payload_nbytes",
+    "Compute",
+    "KernelSpec",
+    "LeafOperation",
+    "MergeOperation",
+    "OperationContext",
+    "Post",
+    "RemoveThreads",
+    "SplitOperation",
+    "StreamOperation",
+    "RoutingFunction",
+    "RoundRobin",
+    "Modulo",
+    "Constant",
+    "Broadcast",
+    "ByMetaKey",
+    "FlowGraph",
+    "VertexKind",
+    "Deployment",
+    "ThreadId",
+    "FlowControlConfig",
+    "ExecutionBackend",
+    "Runtime",
+    "RunResult",
+    "AllocationEvent",
+    "AllocationSchedule",
+    "Migration",
+    "MigrationPlanner",
+]

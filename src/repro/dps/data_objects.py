@@ -1,0 +1,97 @@
+"""Data objects: the typed messages circulating in a DPS flow graph.
+
+"The inputs and outputs of the operations are strongly typed data objects
+[which] may contain any combination of simple types or complex types such
+as arrays or lists." — paper, section 2.
+
+A :class:`DataObject` couples
+
+* a ``kind`` (the type tag used for dispatch and tracing),
+* a ``payload`` — arbitrary Python data (numpy arrays in the LU app), which
+  may be ``None`` under partial direct execution with allocation elision,
+* ``meta`` — small always-present metadata (block indices, iteration
+  numbers) that routing functions and merge keys read, and
+* ``declared_size`` — the byte size to charge the network when the payload
+  is elided (NOALLOC mode), produced by the size-counting serializer
+  workflow described in section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, NamedTuple, Optional
+
+from repro.errors import SerializationError
+
+
+class Frame(NamedTuple):
+    """One level of split-instance context attached to a data object.
+
+    ``sid`` identifies the split/stream instance that created the object;
+    ``index`` is the object's sequence number within that instance.  The
+    merge operation paired with the split groups arriving objects by ``sid``
+    and completes when it has seen as many objects as the split posted.
+    """
+
+    sid: int
+    index: int
+
+
+class DataObject:
+    """A typed message travelling along flow-graph edges."""
+
+    __slots__ = (
+        "kind",
+        "payload",
+        "meta",
+        "declared_size",
+        "frames",
+        "fc_source",
+        "object_id",
+        "created_at",
+    )
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        kind: str,
+        payload: Any = None,
+        meta: Optional[Mapping[str, Any]] = None,
+        declared_size: Optional[float] = None,
+    ) -> None:
+        if not kind:
+            raise SerializationError("data object kind must be a non-empty string")
+        if declared_size is not None and declared_size < 0:
+            raise SerializationError(
+                f"declared_size must be >= 0, got {declared_size!r}"
+            )
+        self.kind = kind
+        self.payload = payload
+        self.meta: dict[str, Any] = dict(meta) if meta else {}
+        self.declared_size = declared_size
+        #: innermost-last stack of split frames; managed by the runtime.
+        self.frames: tuple[Frame, ...] = ()
+        #: flow-control bookkeeping: the emitting instance owed a credit.
+        self.fc_source: Any = None
+        self.object_id = next(DataObject._ids)
+        self.created_at: float = 0.0
+
+    # ------------------------------------------------------------- helpers
+    def with_frames(self, frames: tuple[Frame, ...]) -> "DataObject":
+        """Set the frame stack (runtime use); returns self for chaining."""
+        self.frames = frames
+        return self
+
+    @property
+    def top_frame(self) -> Optional[Frame]:
+        """Innermost frame, or ``None`` for a root object."""
+        return self.frames[-1] if self.frames else None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a metadata field."""
+        return self.meta.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        keys = ",".join(f"{k}={v!r}" for k, v in sorted(self.meta.items()))
+        return f"DataObject({self.kind}#{self.object_id} {keys})"

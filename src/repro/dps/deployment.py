@@ -1,0 +1,116 @@
+"""Deployment: mapping DPS threads onto compute nodes.
+
+"The deployment of a DPS application is done at runtime, and relies on a
+remote launching mechanism to create a new application instance on every
+node that will host a DPS thread." — paper, section 2.  In the simulator,
+"a modified remote launching mechanism instantiates a new DPS thread
+manager for each application instance that would have been launched in a
+real execution" (section 3); the runtime mirrors this by creating one
+:class:`ThreadManager` per virtual node at deployment time.
+
+A deployment names *thread groups* (collections of DPS threads operations
+are routed into) and assigns each thread to a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, NamedTuple, Sequence
+
+from repro.errors import DeploymentError
+
+
+class ThreadId(NamedTuple):
+    """Identity of a DPS thread: its group and index within the group."""
+
+    group: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.group}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One thread group: its size and the node hosting each thread."""
+
+    name: str
+    nodes: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class Deployment:
+    """Thread-group to node mapping for one application run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise DeploymentError(f"need at least one node, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.groups: dict[str, GroupSpec] = {}
+
+    # ------------------------------------------------------------ building
+    def add_group(self, name: str, nodes: Sequence[int]) -> "Deployment":
+        """Create group ``name`` with one thread per entry of ``nodes``."""
+        if name in self.groups:
+            raise DeploymentError(f"duplicate thread group {name!r}")
+        nodes = tuple(int(n) for n in nodes)
+        if not nodes:
+            raise DeploymentError(f"group {name!r} must have at least one thread")
+        for n in nodes:
+            if not 0 <= n < self.num_nodes:
+                raise DeploymentError(
+                    f"group {name!r}: node {n} outside [0, {self.num_nodes})"
+                )
+        self.groups[name] = GroupSpec(name, nodes)
+        return self
+
+    def add_group_block(self, name: str, threads: int, nodes: Sequence[int] | None = None) -> "Deployment":
+        """Distribute ``threads`` threads block-cyclically over ``nodes``.
+
+        Thread ``i`` lands on ``nodes[i % len(nodes)]`` — the natural layout
+        for the LU column-block distribution (two blocks per node when
+        ``threads == 2 * len(nodes)``).
+        """
+        pool = tuple(nodes) if nodes is not None else tuple(range(self.num_nodes))
+        return self.add_group(name, [pool[i % len(pool)] for i in range(threads)])
+
+    def add_singleton(self, name: str, node: int = 0) -> "Deployment":
+        """Create a one-thread group (e.g. the main/master thread)."""
+        return self.add_group(name, [node])
+
+    def add_per_node(self, name: str, nodes: Sequence[int] | None = None) -> "Deployment":
+        """Create a group with exactly one thread on each node."""
+        pool = tuple(nodes) if nodes is not None else tuple(range(self.num_nodes))
+        return self.add_group(name, pool)
+
+    # ------------------------------------------------------------- queries
+    def node_of(self, thread: ThreadId) -> int:
+        """The node hosting ``thread``."""
+        spec = self.groups.get(thread.group)
+        if spec is None:
+            raise DeploymentError(f"unknown thread group {thread.group!r}")
+        if not 0 <= thread.index < spec.size:
+            raise DeploymentError(f"thread index out of range: {thread}")
+        return spec.nodes[thread.index]
+
+    def threads(self) -> Iterable[ThreadId]:
+        """All deployed threads."""
+        for spec in self.groups.values():
+            for i in range(spec.size):
+                yield ThreadId(spec.name, i)
+
+    def used_nodes(self) -> set[int]:
+        """Nodes hosting at least one thread."""
+        return {n for spec in self.groups.values() for n in spec.nodes}
+
+    def validate_against(self, group_names: set[str]) -> None:
+        """Check the deployment provides every group a flow graph needs."""
+        missing = group_names - set(self.groups)
+        if missing:
+            raise DeploymentError(
+                f"deployment misses thread groups required by the flow "
+                f"graph: {sorted(missing)}"
+            )

@@ -1,0 +1,192 @@
+"""Dynamic allocation: removing threads and nodes during execution.
+
+The paper's headline capability: "the number of allocated nodes may
+therefore be dynamically reduced.  The impact of threads removal on the
+running time depends on the number of removed threads and on the iteration
+step of the LU decomposition on which they are removed." (section 6).
+
+An application triggers a change by yielding
+:class:`~repro.dps.operations.RemoveThreads` from an operation body (the
+LU app does so from the iteration-boundary merge).  The runtime then
+
+1. removes the target threads from the live routing set,
+2. asks the application's *migration planner* where each piece of
+   per-thread state must move,
+3. performs the migrations as real network transfers (they cost time —
+   this is why removal timing matters), and
+4. deactivates nodes left with no live threads, recording the allocation
+   change for dynamic-efficiency accounting.
+
+For scripted experiments an :class:`AllocationSchedule` describes the
+paper's strategies ("kill 4 after iteration 1", "kill 2 after it. 2 + 2
+after it. 3") declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.dps.deployment import ThreadId
+from repro.errors import MalleabilityError
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One piece of thread state to move during a reallocation."""
+
+    key: Any
+    src: ThreadId
+    dst: ThreadId
+    size: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise MalleabilityError(f"migration size must be >= 0, got {self.size!r}")
+
+
+#: Planner signature: ``plan(group, states, survivors) -> migrations``.
+#:
+#: ``states`` maps **every** thread of the group (removed and surviving) to
+#: its state dict; ``survivors`` lists the threads that remain, in index
+#: order.  The planner must move all state off removed threads, and may
+#: also move state **between survivors**: when ownership is a function of
+#: the group size (e.g. column block ``j`` lives on thread ``j % P``),
+#: shrinking the group relocates blocks whose owner changed even though
+#: their old host survives.
+MigrationPlanner = Callable[
+    [str, Mapping[ThreadId, Mapping[Any, Any]], Sequence[ThreadId]],
+    Sequence[Migration],
+]
+
+
+def round_robin_planner(
+    size_of: Callable[[Any, Any], float] | None = None,
+) -> MigrationPlanner:
+    """Default planner: spread removed threads' entries over survivors.
+
+    ``size_of(key, value)`` provides transfer sizes; by default values with
+    an ``nbytes`` attribute use it and everything else counts as 0 bytes
+    (metadata-only state).  Survivor state is left in place.
+    """
+
+    def default_size(key: Any, value: Any) -> float:
+        return float(getattr(value, "nbytes", 0.0))
+
+    sizer = size_of or default_size
+
+    def plan(
+        group: str,
+        states: Mapping[ThreadId, Mapping[Any, Any]],
+        survivors: Sequence[ThreadId],
+    ) -> list[Migration]:
+        if not survivors:
+            raise MalleabilityError(
+                f"cannot migrate state of group {group!r}: no surviving threads"
+            )
+        survivor_set = set(survivors)
+        migrations = []
+        slot = 0
+        for src in sorted(states):
+            if src in survivor_set:
+                continue
+            for key, value in states[src].items():
+                dst = survivors[slot % len(survivors)]
+                slot += 1
+                migrations.append(
+                    Migration(key=key, src=src, dst=dst, size=sizer(key, value), payload=value)
+                )
+        return migrations
+
+    return plan
+
+
+def modulo_owner_planner(
+    key_index: Callable[[Any], Optional[int]],
+    size_of: Callable[[Any, Any], float],
+) -> MigrationPlanner:
+    """Planner for ``owner(j) = j % P`` data distributions (the LU layout).
+
+    ``key_index`` extracts the distribution index from a state key (or
+    returns ``None`` for keys that should not move unless their host is
+    removed).  After the group shrinks to ``P'`` threads, every entry moves
+    to ``survivors[j % P']`` — including entries whose current host
+    survives but is no longer the owner.
+    """
+
+    def plan(
+        group: str,
+        states: Mapping[ThreadId, Mapping[Any, Any]],
+        survivors: Sequence[ThreadId],
+    ) -> list[Migration]:
+        if not survivors:
+            raise MalleabilityError(
+                f"cannot migrate state of group {group!r}: no surviving threads"
+            )
+        survivor_set = set(survivors)
+        migrations = []
+        overflow = 0
+        for src in sorted(states):
+            for key, value in states[src].items():
+                j = key_index(key)
+                if j is None:
+                    if src in survivor_set:
+                        continue  # stays with its surviving host
+                    dst = survivors[overflow % len(survivors)]
+                    overflow += 1
+                else:
+                    dst = survivors[int(j) % len(survivors)]
+                    if dst == src:
+                        continue  # already in place
+                migrations.append(
+                    Migration(
+                        key=key, src=src, dst=dst, size=size_of(key, value), payload=value
+                    )
+                )
+        return migrations
+
+    return plan
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One scheduled allocation change: remove threads after a phase."""
+
+    after_phase: str
+    group: str
+    thread_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.thread_indices:
+            raise MalleabilityError("AllocationEvent needs at least one thread index")
+
+
+@dataclass(frozen=True)
+class AllocationSchedule:
+    """A scripted dynamic-allocation strategy.
+
+    The paper's Figure 12 strategies map to::
+
+        kill 4 after it. 1   -> [AllocationEvent("iter1", "workers", (4,5,6,7))]
+        kill 4 after it. 4   -> [AllocationEvent("iter4", "workers", (4,5,6,7))]
+        kill 2 after it. 2
+          + 2 after it. 3    -> [AllocationEvent("iter2", "workers", (6,7)),
+                                 AllocationEvent("iter3", "workers", (4,5))]
+    """
+
+    events: tuple[AllocationEvent, ...] = ()
+    name: str = "static"
+
+    def removals_after(self, phase: str) -> list[AllocationEvent]:
+        """Events triggered at the end of ``phase``."""
+        return [e for e in self.events if e.after_phase == phase]
+
+    @property
+    def total_removed(self) -> int:
+        """Total number of threads removed over the run."""
+        return sum(len(e.thread_indices) for e in self.events)
+
+
+#: No dynamic changes: the conventional static allocation.
+STATIC = AllocationSchedule(events=(), name="static")

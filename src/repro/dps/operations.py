@@ -1,0 +1,249 @@
+"""Operation base classes and the atomic-step protocol.
+
+DPS applications provide the bodies of their operations; the framework
+controls splitting, routing, merging and execution (paper, section 2: "All
+operations are extensible constructs, i.e. the developer provides his own
+code...").
+
+Operation bodies are **generators**.  Each yielded item both requests a
+framework service and marks an atomic-step boundary — the points where the
+paper's simulator suspends the running DPS execution thread:
+
+* ``yield Compute(KernelSpec(...), fn, args)`` — perform computation.  The
+  runtime's *duration provider* decides whether ``fn`` actually runs
+  (direct execution) or only its modelled duration is charged (partial
+  direct execution); the generator resumes with ``fn``'s result (or
+  ``None`` under PDEXEC).
+* ``yield Post(obj, to=..., route=...)`` — emit a data object along an
+  outgoing edge.  Posting ends an atomic step; the transfer proceeds
+  concurrently.  If flow control limits are exhausted the generator stays
+  suspended until a credit returns.
+* ``yield RemoveThreads(...)`` — request a dynamic allocation change; the
+  generator resumes once state migration has completed (see
+  :mod:`repro.dps.malleability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Mapping, Optional, Sequence
+
+from repro.dps.data_objects import DataObject
+from repro.errors import ConfigurationError
+
+OpGenerator = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Description of one computational kernel invocation.
+
+    Duration providers use this to model the kernel's cost; it carries the
+    information a performance model needs without referencing payloads.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (``"gemm"``, ``"trsm"``, ``"panel_lu"``...).
+    flops:
+        Floating-point operations performed by the invocation.
+    working_set:
+        Bytes touched by the kernel (drives cache-efficiency modelling).
+    params:
+        Free-form extra parameters (block sizes etc.) for custom models.
+    """
+
+    name: str
+    flops: float = 0.0
+    working_set: float = 0.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0.0:
+            raise ConfigurationError(f"flops must be >= 0, got {self.flops!r}")
+        if self.working_set < 0.0:
+            raise ConfigurationError(
+                f"working_set must be >= 0, got {self.working_set!r}"
+            )
+
+
+class Compute:
+    """Yield item: run a kernel (for real or as a modelled duration)."""
+
+    __slots__ = ("spec", "fn", "args")
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        fn: Optional[Callable[..., Any]] = None,
+        args: Sequence[Any] = (),
+    ) -> None:
+        self.spec = spec
+        self.fn = fn
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Compute({self.spec.name}, flops={self.spec.flops})"
+
+
+class Post:
+    """Yield item: emit ``obj`` along the edge named ``to``.
+
+    ``to`` may be omitted when the vertex has a single outgoing edge.
+    ``route`` overrides the edge's routing function with an explicit target
+    thread index within the destination group (used when the application
+    knows the owner, e.g. the column block's home thread in the LU app).
+    """
+
+    __slots__ = ("obj", "to", "route")
+
+    def __init__(
+        self,
+        obj: DataObject,
+        to: Optional[str] = None,
+        route: Optional[int] = None,
+    ) -> None:
+        self.obj = obj
+        self.to = to
+        self.route = route
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Post({self.obj!r} -> {self.to or '<default>'})"
+
+
+class RemoveThreads:
+    """Yield item: dynamically remove threads from a group.
+
+    The runtime migrates the removed threads' state according to the
+    application's migration plan (network transfers), deactivates nodes
+    that no longer host any thread, and resumes the generator when the
+    reallocation is complete.
+    """
+
+    __slots__ = ("group", "thread_indices")
+
+    def __init__(self, group: str, thread_indices: Sequence[int]) -> None:
+        if not thread_indices:
+            raise ConfigurationError("RemoveThreads requires at least one index")
+        self.group = group
+        self.thread_indices = tuple(int(i) for i in thread_indices)
+
+
+class OperationContext:
+    """Runtime services visible to operation bodies.
+
+    One context exists per operation *instance*; it exposes the hosting
+    thread's identity and state, live group sizes (which change under
+    dynamic allocation), and phase marking for dynamic-efficiency
+    accounting.  The concrete implementation lives in the runtime; this
+    class defines the interface operations may rely on.
+    """
+
+    # The runtime fills these in.
+    thread_group: str = ""
+    thread_index: int = 0
+    node: int = 0
+
+    def group_size(self, group: str) -> int:  # pragma: no cover - interface
+        """Current number of live threads in ``group``."""
+        raise NotImplementedError
+
+    def live_indices(self, group: str) -> tuple[int, ...]:  # pragma: no cover
+        """Indices of the live threads in ``group``, ascending."""
+        raise NotImplementedError
+
+    @property
+    def thread_state(self) -> dict:  # pragma: no cover - interface
+        """Mutable per-DPS-thread state dictionary."""
+        raise NotImplementedError
+
+    def mark_phase(self, label: str) -> None:  # pragma: no cover - interface
+        """Record a phase boundary (e.g. LU iteration start) at current time."""
+        raise NotImplementedError
+
+    def finish_instance(self) -> None:  # pragma: no cover - interface
+        """Declare this (stream) instance complete; see StreamOperation."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:  # pragma: no cover - interface
+        """Current simulation time."""
+        raise NotImplementedError
+
+
+class LeafOperation:
+    """A leaf processes one data object and posts results.
+
+    Subclasses implement :meth:`run` as a generator.  A fresh instance
+    executes per delivered data object.
+    """
+
+    def run(self, ctx: OperationContext, obj: DataObject) -> OpGenerator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class SplitOperation:
+    """A split divides one incoming object into subtask objects.
+
+    Every object it posts opens a new frame; the paired merge completes
+    once it has collected as many objects as the split posted.  "Successive
+    data objects arriving at the entry of a split operation yield
+    successive new instances of the split-merge operation pair."
+    """
+
+    def run(self, ctx: OperationContext, obj: DataObject) -> OpGenerator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class MergeOperation:
+    """A merge collects and aggregates the objects of one split instance.
+
+    ``initial_state`` creates the accumulator; ``combine`` folds each
+    arriving object (as a generator, so aggregation cost is modelled);
+    ``finalize`` runs when all objects have arrived and typically posts the
+    aggregated result.
+    """
+
+    def initial_state(self, ctx: OperationContext) -> Any:
+        """Create the per-instance accumulator (default: ``None``)."""
+        return None
+
+    def combine(
+        self, ctx: OperationContext, state: Any, obj: DataObject
+    ) -> Optional[OpGenerator]:
+        """Fold ``obj`` into ``state``; may be a generator or return None."""
+        raise NotImplementedError
+
+    def finalize(self, ctx: OperationContext, state: Any) -> Optional[OpGenerator]:
+        """Run after the last ``combine``; normally posts the result."""
+        raise NotImplementedError
+
+
+class StreamOperation(MergeOperation):
+    """A stream combines a merge with a subsequent split.
+
+    "Instead of waiting for the merge operation to receive all its data
+    objects ... the stream operation can stream out new data objects based
+    on groups of incoming data objects", maximizing pipelining.
+
+    Two usage modes:
+
+    * **paired** (``closes=`` a split in the flow graph): grouping is by the
+      paired split's instances, and completion is automatic, as for a merge.
+      Posts from ``combine``/``finalize`` open the stream's own frame.
+    * **keyed** (no pairing): the application controls grouping via
+      :meth:`instance_key` and declares completion by calling
+      ``ctx.finish_instance()`` — this is how DPS developers express custom
+      synchronization granularity, e.g. per-column-block readiness in the
+      LU flow graph.
+    """
+
+    def instance_key(self, obj: DataObject) -> Any:
+        """Group key for keyed streams (default: one global instance)."""
+        return None
+
+    def finalize(self, ctx: OperationContext, state: Any) -> Optional[OpGenerator]:
+        """Keyed streams often do all their work in combine; default no-op."""
+        return None

@@ -1,0 +1,112 @@
+"""DPS threads and per-node thread managers.
+
+"A thread in DPS is a logical construct representing an execution
+environment for a set of operations. [...] Data object queues are
+associated with the thread that contains the operations that will consume
+them." — paper, section 2.
+
+At deployment the runtime instantiates one :class:`ThreadManager` per
+virtual node, mirroring the simulated remote-launching mechanism of
+section 3 ("the simulation of an application uses the same number of DPS
+thread managers and the same deployment scheme as the real execution").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.dps.deployment import ThreadId
+from repro.errors import MalleabilityError
+
+
+class DPSThread:
+    """One DPS thread: queue, per-thread state, and execution status.
+
+    Exactly one operation executes on a thread at any time; a thread whose
+    operation is suspended (merge waiting for objects, flow-control block)
+    is free to process other queued deliveries — the mechanism behind the
+    overlap of communication handling and computation within a node.
+    """
+
+    __slots__ = (
+        "tid",
+        "node",
+        "state",
+        "queue",
+        "ready",
+        "current",
+        "alive",
+        "processed_objects",
+    )
+
+    def __init__(self, tid: ThreadId, node: int) -> None:
+        self.tid = tid
+        self.node = node
+        #: user-visible per-thread state (e.g. stored column blocks)
+        self.state: dict[Any, Any] = {}
+        #: pending data-object deliveries: (vertex_name, DataObject)
+        self.queue: deque = deque()
+        #: suspended executions ready to resume: (callable, value)
+        self.ready: deque = deque()
+        #: the execution currently holding the thread (None when idle)
+        self.current: Optional[Any] = None
+        self.alive = True
+        self.processed_objects = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no operation holds the thread."""
+        return self.current is None
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is queued, ready or running."""
+        return self.idle and not self.queue and not self.ready
+
+    def ensure_alive(self) -> None:
+        """Raise when work is routed to a removed thread."""
+        if not self.alive:
+            raise MalleabilityError(
+                f"data object routed to removed thread {self.tid}; the "
+                "application changed the allocation while objects destined "
+                "to the removed threads were still in flight"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "dead" if not self.alive else ("busy" if self.current else "idle")
+        return f"DPSThread({self.tid}, node={self.node}, {status}, q={len(self.queue)})"
+
+
+class ThreadManager:
+    """Per-node manager handling thread creation, destruction and lookup."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.threads: dict[ThreadId, DPSThread] = {}
+
+    def create(self, tid: ThreadId) -> DPSThread:
+        """Create a DPS thread on this node."""
+        if tid in self.threads:
+            raise MalleabilityError(f"thread {tid} already exists on node {self.node}")
+        thread = DPSThread(tid, self.node)
+        self.threads[tid] = thread
+        return thread
+
+    def destroy(self, tid: ThreadId) -> DPSThread:
+        """Destroy a thread (it must be fully drained)."""
+        thread = self.threads.pop(tid, None)
+        if thread is None:
+            raise MalleabilityError(f"thread {tid} does not exist on node {self.node}")
+        if not thread.drained:
+            raise MalleabilityError(
+                f"cannot destroy thread {tid}: it still has queued or "
+                "running operations"
+            )
+        thread.alive = False
+        return thread
+
+    @property
+    def live_count(self) -> int:
+        """Number of live threads managed on this node."""
+        return sum(1 for t in self.threads.values() if t.alive)

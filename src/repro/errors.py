@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch any failure from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel or a model reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make progress but processes are still waiting.
+
+    Raised when the event queue drains while runtime operations (merge or
+    stream operations waiting for data objects, flow-control-blocked splits)
+    are still suspended.  This usually indicates a malformed flow graph or a
+    routing function that sends data objects to the wrong thread.
+    """
+
+
+class FlowGraphError(ReproError):
+    """A flow graph is structurally invalid (cycles, dangling edges...)."""
+
+
+class RoutingError(ReproError):
+    """A routing function produced an out-of-range or invalid thread index."""
+
+
+class SerializationError(ReproError):
+    """A data object could not be serialized or sized."""
+
+
+class DeploymentError(ReproError):
+    """Thread-to-node deployment is invalid or inconsistent."""
+
+
+class MalleabilityError(ReproError):
+    """An invalid dynamic allocation change was requested.
+
+    Examples: removing a node that hosts no threads, removing more nodes
+    than are allocated, or changing the allocation while a migration is
+    already in flight.
+    """
+
+
+class CostModelError(ReproError):
+    """A duration provider could not produce an estimate for an atomic step."""
+
+
+class VerificationError(ReproError):
+    """A numerical result failed verification (e.g. P@A != L@U)."""

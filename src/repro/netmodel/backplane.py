@@ -1,0 +1,110 @@
+"""Star network with a *finite* switch backplane.
+
+The paper assumes "a central full crossbar switch which is never a
+bottleneck".  Real entry-level switches of the era were oversubscribed:
+their fabric could not carry every port at line rate simultaneously.
+This model relaxes the paper's assumption to quantify it — per-node
+equal-share rates are computed exactly as in
+:class:`~repro.netmodel.star.EqualShareStarNetwork`, then scaled down
+proportionally whenever their sum exceeds the backplane capacity.
+
+With ``capacity = math.inf`` the model degrades to the paper's exactly;
+the ablation bench sweeps the oversubscription ratio to find where the
+"never a bottleneck" assumption starts to matter for the LU workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.des.fluid import FluidPool, FluidTask
+from repro.des.kernel import Kernel
+from repro.errors import ConfigurationError
+from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.params import NetworkParams
+
+
+class BackplaneStarNetwork(NetworkModel):
+    """Equal-share star whose switch fabric carries at most ``capacity`` B/s.
+
+    Parameters
+    ----------
+    capacity:
+        Aggregate backplane throughput in bytes/s.  ``math.inf`` recovers
+        the paper's ideal crossbar.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: NetworkParams,
+        capacity: float = math.inf,
+    ) -> None:
+        super().__init__(kernel, params)
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"backplane capacity must be positive, got {capacity!r}"
+            )
+        self.capacity = float(capacity)
+        self._pool = FluidPool(kernel, self._allocate, name="backplane-network")
+        self._drain_out: dict[int, int] = {}
+        self._drain_in: dict[int, int] = {}
+
+    @classmethod
+    def factory(
+        cls, num_nodes: int, oversubscription: float
+    ) -> Callable[[Kernel, NetworkParams], "BackplaneStarNetwork"]:
+        """Factory for a fabric carrying ``num_nodes / oversubscription``
+        links at line rate (oversubscription 1.0 = non-blocking for
+        one-directional traffic; 2.0 = half the ports can stream).
+        """
+        if oversubscription <= 0:
+            raise ConfigurationError("oversubscription must be positive")
+
+        def build(kernel: Kernel, params: NetworkParams) -> "BackplaneStarNetwork":
+            capacity = num_nodes * params.bandwidth / oversubscription
+            return cls(kernel, params, capacity=capacity)
+
+        return build
+
+    # ------------------------------------------------------------ lifecycle
+    def _start(self, transfer: Transfer) -> None:
+        delay = self.params.effective_latency
+        if delay > 0.0:
+            self.kernel.schedule(delay, self._begin_drain, transfer)
+        else:
+            self._begin_drain(transfer)
+
+    def _begin_drain(self, transfer: Transfer) -> None:
+        self._drain_out[transfer.src] = self._drain_out.get(transfer.src, 0) + 1
+        self._drain_in[transfer.dst] = self._drain_in.get(transfer.dst, 0) + 1
+        self._pool.add(FluidTask(transfer.size, self._drain_done, tag=transfer))
+
+    def _drain_done(self, task: FluidTask) -> None:
+        transfer: Transfer = task.tag
+        self._drain_out[transfer.src] -= 1
+        self._drain_in[transfer.dst] -= 1
+        self._finish(transfer)
+
+    # ------------------------------------------------------------ allocator
+    def _allocate(self, tasks: list[FluidTask]) -> None:
+        bandwidth = self.params.bandwidth
+        total = 0.0
+        for task in tasks:
+            transfer: Transfer = task.tag
+            out_share = bandwidth / self._drain_out[transfer.src]
+            in_share = bandwidth / self._drain_in[transfer.dst]
+            task.rate = min(out_share, in_share)
+            total += task.rate
+        if total > self.capacity:
+            scale = self.capacity / total
+            for task in tasks:
+                task.rate *= scale
+
+    # ------------------------------------------------------------- metrics
+    def fabric_load(self) -> float:
+        """Current aggregate drain rate as a fraction of capacity."""
+        if math.isinf(self.capacity):
+            return 0.0
+        return min(1.0, sum(t.rate for t in self._pool.tasks) / self.capacity)

@@ -1,0 +1,145 @@
+"""Abstract network-model interface shared by all implementations.
+
+A network model accepts *transfers* (source node, destination node, size)
+and invokes a completion callback when the last byte arrives.  It also
+exposes per-node concurrent-transfer counts, which the CPU model consumes
+("the consumed processing power depends on the number of outgoing and
+incoming communications" — paper section 4), and notifies listeners whenever
+those counts change.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+from repro.netmodel.params import NetworkParams
+from repro.util.validation import check_non_negative
+
+#: Callback type invoked when a transfer completes.
+CompletionCallback = Callable[["Transfer"], None]
+#: Listener invoked whenever any node's concurrent-transfer counts change.
+ActivityListener = Callable[[], None]
+
+
+class Transfer:
+    """One data-object transfer moving through a network model."""
+
+    __slots__ = (
+        "transfer_id",
+        "src",
+        "dst",
+        "size",
+        "on_complete",
+        "tag",
+        "submitted_at",
+        "completed_at",
+    )
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        on_complete: CompletionCallback,
+        tag: Any = None,
+    ) -> None:
+        if src == dst:
+            raise SimulationError(
+                f"transfer source and destination are the same node ({src}); "
+                "local deliveries must bypass the network model"
+            )
+        self.transfer_id = next(Transfer._ids)
+        self.src = int(src)
+        self.dst = int(dst)
+        self.size = check_non_negative("size", size)
+        self.on_complete = on_complete
+        self.tag = tag
+        self.submitted_at: float = math.nan
+        self.completed_at: float = math.nan
+
+    @property
+    def elapsed(self) -> float:
+        """Wall (simulated) duration of the transfer, NaN until complete."""
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Transfer(#{self.transfer_id} {self.src}->{self.dst}, "
+            f"size={self.size!r})"
+        )
+
+
+class NetworkModel(ABC):
+    """Common bookkeeping for network models: counts, listeners, stats."""
+
+    def __init__(self, kernel: Kernel, params: NetworkParams) -> None:
+        self.kernel = kernel
+        self.params = params
+        self._outgoing: dict[int, int] = {}
+        self._incoming: dict[int, int] = {}
+        self._listeners: list[ActivityListener] = []
+        #: total transfers completed (simulation-cost metric)
+        self.completed_transfers = 0
+        #: total bytes delivered
+        self.delivered_bytes = 0.0
+
+    # ----------------------------------------------------------------- api
+    def submit(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        on_complete: CompletionCallback,
+        tag: Any = None,
+    ) -> Transfer:
+        """Admit a transfer; the callback fires when the last byte arrives."""
+        transfer = Transfer(src, dst, size, on_complete, tag)
+        transfer.submitted_at = self.kernel.now
+        self._outgoing[src] = self._outgoing.get(src, 0) + 1
+        self._incoming[dst] = self._incoming.get(dst, 0) + 1
+        self._start(transfer)
+        self._notify()
+        return transfer
+
+    def concurrent_outgoing(self, node: int) -> int:
+        """Number of in-flight transfers leaving ``node``."""
+        return self._outgoing.get(node, 0)
+
+    def concurrent_incoming(self, node: int) -> int:
+        """Number of in-flight transfers arriving at ``node``."""
+        return self._incoming.get(node, 0)
+
+    def active_transfers(self) -> int:
+        """Total number of in-flight transfers."""
+        return sum(self._outgoing.values())
+
+    def add_listener(self, listener: ActivityListener) -> None:
+        """Subscribe to concurrency-count changes (CPU-model coupling)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------ subclass
+    @abstractmethod
+    def _start(self, transfer: Transfer) -> None:
+        """Begin moving ``transfer``; must eventually call :meth:`_finish`."""
+
+    # ------------------------------------------------------------ internals
+    def _finish(self, transfer: Transfer) -> None:
+        """Mark ``transfer`` complete and invoke its callback."""
+        transfer.completed_at = self.kernel.now
+        self._outgoing[transfer.src] -= 1
+        self._incoming[transfer.dst] -= 1
+        self.completed_transfers += 1
+        self.delivered_bytes += transfer.size
+        transfer.on_complete(transfer)
+        self._notify()
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()

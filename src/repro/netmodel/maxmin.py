@@ -1,0 +1,102 @@
+"""Max-min fair variant of the star-topology contention model.
+
+Identical to :class:`~repro.netmodel.star.EqualShareStarNetwork` except that
+rates are computed by progressive filling (water-filling): bandwidth left
+unused by transfers bottlenecked elsewhere is redistributed among the
+remaining transfers on the same link.  This is how TCP flows on a switched
+LAN approximately share capacity, so the ground-truth testbed builds on this
+model while the paper's simulator uses the simpler equal-share law; the
+difference between the two is one genuine source of prediction error, and
+``benchmarks/bench_ablation_network.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.des.fluid import FluidPool, FluidTask
+from repro.des.kernel import Kernel
+from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.params import NetworkParams
+
+
+def maxmin_rates(
+    flows: list[tuple[int, int]], capacity: float
+) -> list[float]:
+    """Water-filling rate allocation on a star topology.
+
+    Parameters
+    ----------
+    flows:
+        ``(src, dst)`` pairs; each node's egress and ingress are separate
+        links of ``capacity`` bytes/s.
+    capacity:
+        Full-duplex link capacity in bytes/s.
+
+    Returns
+    -------
+    list of rates, one per flow, in input order.
+    """
+    n = len(flows)
+    rates = [0.0] * n
+    if n == 0:
+        return rates
+    # Link keys: ("out", node) and ("in", node).
+    remaining_cap: dict[tuple[str, int], float] = {}
+    link_flows: dict[tuple[str, int], set[int]] = {}
+    for i, (src, dst) in enumerate(flows):
+        for link in (("out", src), ("in", dst)):
+            remaining_cap.setdefault(link, capacity)
+            link_flows.setdefault(link, set()).add(i)
+    unfrozen = set(range(n))
+    while unfrozen:
+        # Find the bottleneck link: smallest fair share among active links.
+        bottleneck_share = math.inf
+        bottleneck_link = None
+        for link, members in link_flows.items():
+            active = members & unfrozen
+            if not active:
+                continue
+            share = remaining_cap[link] / len(active)
+            if share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_link = link
+        if bottleneck_link is None:  # pragma: no cover - defensive
+            break
+        # Freeze every unfrozen flow crossing the bottleneck at that share.
+        frozen_now = link_flows[bottleneck_link] & unfrozen
+        for i in frozen_now:
+            rates[i] = bottleneck_share
+            unfrozen.discard(i)
+            src, dst = flows[i]
+            for link in (("out", src), ("in", dst)):
+                remaining_cap[link] -= bottleneck_share
+    return rates
+
+
+class MaxMinStarNetwork(NetworkModel):
+    """Star-topology fluid network with max-min fair bandwidth sharing."""
+
+    def __init__(self, kernel: Kernel, params: NetworkParams) -> None:
+        super().__init__(kernel, params)
+        self._pool = FluidPool(kernel, self._allocate, name="maxmin-network")
+
+    def _start(self, transfer: Transfer) -> None:
+        delay = self.params.effective_latency
+        if delay > 0.0:
+            self.kernel.schedule(delay, self._begin_drain, transfer)
+        else:
+            self._begin_drain(transfer)
+
+    def _begin_drain(self, transfer: Transfer) -> None:
+        task = FluidTask(transfer.size, self._drain_done, tag=transfer)
+        self._pool.add(task)
+
+    def _drain_done(self, task: FluidTask) -> None:
+        self._finish(task.tag)
+
+    def _allocate(self, tasks: list[FluidTask]) -> None:
+        flows = [(t.tag.src, t.tag.dst) for t in tasks]
+        rates = maxmin_rates(flows, self.params.bandwidth)
+        for task, rate in zip(tasks, rates):
+            task.rate = rate

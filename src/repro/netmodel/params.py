@@ -1,0 +1,70 @@
+"""Platform-specific network parameters.
+
+The paper's model needs only a latency ``l`` and a bandwidth ``b`` that are
+"constant and specific to the hardware onto which the parallel application
+is running" and are characterized once per machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import MICROSECOND, mbit_per_s
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Latency/bandwidth description of a cluster interconnect.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency ``l`` in seconds.
+    bandwidth:
+        Link bandwidth ``b`` in bytes/second.  Links are full duplex: the
+        same bandwidth is available independently in each direction.
+    per_object_overhead:
+        Fixed software overhead per transferred data object (serialization,
+        queue management) in seconds, charged in addition to ``l``.  The
+        paper folds this into its measured latency; it is exposed separately
+        so calibration experiments can isolate it.
+    """
+
+    latency: float = 80 * MICROSECOND
+    bandwidth: float = mbit_per_s(100.0)
+    per_object_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("per_object_overhead", self.per_object_overhead)
+
+    @property
+    def effective_latency(self) -> float:
+        """Total per-object fixed cost: latency plus software overhead."""
+        return self.latency + self.per_object_overhead
+
+    def uncontended_time(self, size: float) -> float:
+        """The paper's formula ``t = l + s/b`` for a single transfer."""
+        check_non_negative("size", size)
+        return self.effective_latency + size / self.bandwidth
+
+
+#: Fast Ethernet parameters matching the paper's evaluation platform
+#: (100 Mb/s switched network between Sun workstations).  The effective
+#: bandwidth accounts for TCP/IP framing overhead (~93% of line rate), and
+#: the latency matches typical Fast Ethernet round-trip/2 measurements.
+FAST_ETHERNET = NetworkParams(
+    latency=75 * MICROSECOND,
+    bandwidth=mbit_per_s(93.0),
+    per_object_overhead=60 * MICROSECOND,
+)
+
+#: Gigabit Ethernet, used by what-if examples ("evaluate the benefits of a
+#: faster network" — paper section 4).
+GIGABIT_ETHERNET = NetworkParams(
+    latency=40 * MICROSECOND,
+    bandwidth=mbit_per_s(930.0),
+    per_object_overhead=30 * MICROSECOND,
+)

@@ -1,0 +1,82 @@
+"""The paper's contention model: equal bandwidth sharing on a star topology.
+
+Assumptions, verbatim from section 4 of the paper:
+
+* the network has a star topology — each node owns a full-duplex link to a
+  central full-crossbar switch which is never a bottleneck;
+* all incoming, respectively outgoing, data transfers of a node receive an
+  equal share of the link bandwidth.
+
+A transfer therefore progresses at::
+
+    rate = min(B / n_out(src), B / n_in(dst))
+
+where the counts include every transfer currently draining bytes.  Note this
+is *not* max-min fair: when a transfer is limited by its destination's share,
+the unused fraction of the source's share is **not** redistributed to the
+source's other transfers.  The max-min variant lives in
+:mod:`repro.netmodel.maxmin` for ablation benches.
+
+Latency is modelled as a fixed pre-drain delay of ``l`` (plus the per-object
+software overhead) during which the transfer occupies no bandwidth, after
+which ``s`` bytes drain through the fluid pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des.fluid import FluidPool, FluidTask
+from repro.des.kernel import Kernel
+from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.params import NetworkParams
+
+
+class EqualShareStarNetwork(NetworkModel):
+    """Fluid star-topology network with per-node equal bandwidth sharing."""
+
+    def __init__(self, kernel: Kernel, params: NetworkParams) -> None:
+        super().__init__(kernel, params)
+        self._pool = FluidPool(kernel, self._allocate, name="star-network")
+        # Draining-transfer counts per node (latency-phase transfers are
+        # tracked by the base class but hold no bandwidth).
+        self._drain_out: dict[int, int] = {}
+        self._drain_in: dict[int, int] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    def _start(self, transfer: Transfer) -> None:
+        delay = self.params.effective_latency
+        if delay > 0.0:
+            self.kernel.schedule(delay, self._begin_drain, transfer)
+        else:
+            self._begin_drain(transfer)
+
+    def _begin_drain(self, transfer: Transfer) -> None:
+        self._drain_out[transfer.src] = self._drain_out.get(transfer.src, 0) + 1
+        self._drain_in[transfer.dst] = self._drain_in.get(transfer.dst, 0) + 1
+        task = FluidTask(transfer.size, self._drain_done, tag=transfer)
+        self._pool.add(task)
+
+    def _drain_done(self, task: FluidTask) -> None:
+        transfer: Transfer = task.tag
+        self._drain_out[transfer.src] -= 1
+        self._drain_in[transfer.dst] -= 1
+        self._finish(transfer)
+
+    # ------------------------------------------------------------ allocator
+    def _allocate(self, tasks: list[FluidTask]) -> None:
+        bandwidth = self.params.bandwidth
+        for task in tasks:
+            transfer: Transfer = task.tag
+            out_share = bandwidth / self._drain_out[transfer.src]
+            in_share = bandwidth / self._drain_in[transfer.dst]
+            task.rate = min(out_share, in_share)
+
+    # ------------------------------------------------------------- metrics
+    def draining_outgoing(self, node: int) -> int:
+        """Transfers currently draining bytes out of ``node``."""
+        return self._drain_out.get(node, 0)
+
+    def draining_incoming(self, node: int) -> int:
+        """Transfers currently draining bytes into ``node``."""
+        return self._drain_in.get(node, 0)

@@ -1,0 +1,35 @@
+"""Simulation modes, as contrasted in the paper's Table 1."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SimulationMode(enum.Enum):
+    """How atomic-step durations and payloads are handled.
+
+    * ``DIRECT`` — direct execution: kernels really run (payloads must be
+      allocated) and are timed on the simulation host, scaled to the
+      target machine.
+    * ``PDEXEC`` — partial direct execution: kernel durations come from a
+      cost model; payloads are still allocated and computed so results can
+      be verified.
+    * ``PDEXEC_NOALLOC`` — partial direct execution with allocation
+      elision: payloads are never allocated; data objects carry declared
+      sizes only ("the memory of data structures does not need to be
+      allocated", paper section 4).
+    """
+
+    DIRECT = "direct"
+    PDEXEC = "pdexec"
+    PDEXEC_NOALLOC = "pdexec_noalloc"
+
+    @property
+    def allocates(self) -> bool:
+        """Whether payloads exist in this mode."""
+        return self is not SimulationMode.PDEXEC_NOALLOC
+
+    @property
+    def runs_kernels(self) -> bool:
+        """Whether numerical kernels actually execute in this mode."""
+        return self is not SimulationMode.PDEXEC_NOALLOC

@@ -1,0 +1,43 @@
+"""Platform specification: the "characterize once per machine" parameter set.
+
+Paper, section 4: the latency/bandwidth parameters and the communication
+processing costs "are constant and specific to the hardware onto which the
+parallel application is running [...] the characterization of these
+communication and processing parameters is independent of the simulated
+applications, and thus needs to be carried out only once."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpumodel.commcost import CommCostParams
+from repro.cpumodel.machines import MachineProfile, ULTRASPARC_II_440
+from repro.netmodel.params import FAST_ETHERNET, NetworkParams
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Everything the simulator needs to know about the target machine."""
+
+    machine: MachineProfile = ULTRASPARC_II_440
+    network: NetworkParams = FAST_ETHERNET
+    comm_cost: CommCostParams = field(default_factory=CommCostParams)
+    local_delivery_delay: float = 2e-6
+
+    def __post_init__(self) -> None:
+        check_non_negative("local_delivery_delay", self.local_delivery_delay)
+
+    def with_network(self, network: NetworkParams) -> "PlatformSpec":
+        """A copy targeting a different interconnect (what-if studies)."""
+        return replace(self, network=network)
+
+    def with_machine(self, machine: MachineProfile) -> "PlatformSpec":
+        """A copy targeting different compute nodes."""
+        return replace(self, machine=machine)
+
+
+#: The paper's evaluation platform: 440 MHz UltraSparc II workstations on
+#: switched Fast Ethernet.
+PAPER_CLUSTER = PlatformSpec()

@@ -1,0 +1,43 @@
+"""Virtual cluster description for the ground-truth testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpumodel.machines import MachineProfile, ULTRASPARC_II_440
+from repro.cpumodel.timeslice import TimesliceParams
+from repro.netmodel.packet import PacketNetworkParams
+from repro.netmodel.params import FAST_ETHERNET, NetworkParams
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VirtualCluster:
+    """A homogeneous cluster: nodes, interconnect, and fidelity knobs.
+
+    The defaults describe the paper's evaluation platform: Sun
+    workstations with 440 MHz UltraSparc II processors on switched Fast
+    Ethernet.
+    """
+
+    num_nodes: int = 8
+    machine: MachineProfile = ULTRASPARC_II_440
+    network: NetworkParams = FAST_ETHERNET
+    packet_params: PacketNetworkParams = field(default_factory=PacketNetworkParams)
+    timeslice_params: TimesliceParams = field(default_factory=TimesliceParams)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_nodes", self.num_nodes)
+
+    def with_nodes(self, num_nodes: int) -> "VirtualCluster":
+        """Same cluster, different node count."""
+        from dataclasses import replace
+
+        return replace(self, num_nodes=num_nodes)
+
+    def with_seed(self, seed: int) -> "VirtualCluster":
+        """Same cluster, different noise seed (another 'measurement run')."""
+        from dataclasses import replace
+
+        return replace(self, seed=seed)

@@ -1,0 +1,46 @@
+"""Small shared utilities: units, validation, RNG handling and statistics."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    format_bytes,
+    format_duration,
+    mbit_per_s,
+    mbyte_per_s,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.stats import OnlineStats, percentile, summarize
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "format_bytes",
+    "format_duration",
+    "mbit_per_s",
+    "mbyte_per_s",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "SeedSequenceFactory",
+    "derive_rng",
+    "OnlineStats",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,130 @@
+"""Lightweight statistics helpers used by the analysis and testbed layers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class OnlineStats:
+    """Streaming mean/variance accumulator (Welford's algorithm).
+
+    Suitable for long simulations where storing every sample would defeat the
+    memory savings of partial direct execution.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        x = float(x)
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded in."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN while empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (NaN below two samples)."""
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen (NaN while empty)."""
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen (NaN while empty)."""
+        return self._max if self._n else math.nan
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equal to folding both sample sets."""
+        out = OnlineStats()
+        n = self._n + other._n
+        if n == 0:
+            return out
+        delta = other._mean - self._mean
+        out._n = n
+        out._mean = self._mean + delta * (other._n / n)
+        out._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+
+def percentile(xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``xs`` for ``q`` in [0, 100]."""
+    if not xs:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(float(x) for x in xs)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample set."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def summarize(xs: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of the sample set ``xs``."""
+    acc = OnlineStats()
+    acc.extend(xs)
+    return Summary(
+        count=acc.count,
+        mean=acc.mean,
+        stddev=acc.stddev,
+        minimum=acc.minimum,
+        p50=percentile(xs, 50.0),
+        p95=percentile(xs, 95.0),
+        maximum=acc.maximum,
+    )

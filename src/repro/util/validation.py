@@ -1,0 +1,76 @@
+"""Argument-validation helpers shared by the model constructors.
+
+Each helper returns the validated value so it can be used inline::
+
+    self.bandwidth = check_positive("bandwidth", bandwidth)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Raise :class:`ConfigurationError` unless ``value`` is an ``expected`` instance."""
+    if not isinstance(value, expected):
+        exp = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ConfigurationError(
+            f"{name} must be of type {exp}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Require a finite real number."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require a strictly positive finite number."""
+    value = check_finite(name, value)
+    if value <= 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require a finite number >= 0."""
+    value = check_finite(name, value)
+    if value < 0.0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``low <= value <= high`` (or strict bounds if ``inclusive=False``)."""
+    value = check_finite(name, value)
+    if inclusive:
+        ok = low <= value <= high
+        rel = "<="
+    else:
+        ok = low < value < high
+        rel = "<"
+    if not ok:
+        raise ConfigurationError(
+            f"{name} must satisfy {low} {rel} {name} {rel} {high}, got {value!r}"
+        )
+    return value

@@ -1,0 +1,126 @@
+"""Metrics, prediction studies, tables and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    efficiency,
+    performance_improvement,
+    relative_error,
+    speedup,
+)
+from repro.analysis.prediction import PredictionStudy
+from repro.analysis.sweep import SweepCase, run_lu_case, sweep
+from repro.analysis.tables import ascii_bar_chart, ascii_histogram, ascii_table
+from repro.apps.lu.config import LUConfig
+from repro.errors import ConfigurationError
+from repro.sim.modes import SimulationMode
+
+
+# ------------------------------------------------------------------ metrics
+def test_speedup_and_efficiency():
+    assert speedup(100.0, 25.0) == 4.0
+    assert efficiency(100.0, 25.0, 8) == 0.5
+
+
+def test_performance_improvement_is_papers_metric():
+    # "execution time of the basic flow graph over the execution time of
+    # the program incorporating the variations"
+    assert performance_improvement(259.4, 72.5) == pytest.approx(3.578, rel=1e-3)
+
+
+def test_relative_error_signed():
+    assert relative_error(105.0, 100.0) == pytest.approx(0.05)
+    assert relative_error(95.0, 100.0) == pytest.approx(-0.05)
+
+
+def test_metric_validation():
+    with pytest.raises(ConfigurationError):
+        speedup(1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        relative_error(1.0, 0.0)
+
+
+# ----------------------------------------------------------------- study
+def test_prediction_study_summary():
+    study = PredictionStudy()
+    study.add("a", 100.0, 102.0)   # +2%
+    study.add("b", 100.0, 95.0)    # -5%
+    study.add("c", 100.0, 111.0)   # +11%
+    summary = study.summary()
+    assert summary["count"] == 3
+    assert summary["within_4pct"] == pytest.approx(1 / 3)
+    assert summary["within_6pct"] == pytest.approx(2 / 3)
+    assert summary["within_12pct"] == 1.0
+    assert summary["max_abs"] == pytest.approx(0.11)
+
+
+def test_histogram_bins_cover_all_records():
+    study = PredictionStudy()
+    rng = np.random.default_rng(0)
+    for i in range(100):
+        err = float(rng.normal(0, 0.05))
+        study.add(f"r{i}", 100.0, 100.0 * (1 + err))
+    hist = study.histogram(limit=0.16, bin_width=0.02)
+    assert hist.total == 100
+    assert len(hist.counts) == 16
+    # Outliers are clipped into the edge bins, never dropped.
+    study.add("huge", 100.0, 200.0)
+    assert study.histogram().total == 101
+
+
+def test_empty_study_is_nan():
+    study = PredictionStudy()
+    assert np.isnan(study.fraction_within(0.04))
+    assert np.isnan(study.max_abs_error())
+
+
+# ----------------------------------------------------------------- tables
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_ascii_bar_chart_scales():
+    out = ascii_bar_chart(["x", "y"], [1.0, 2.0], width=10)
+    lines = out.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_ascii_histogram_renders():
+    out = ascii_histogram([(-0.02, 0.0, 5), (0.0, 0.02, 10)], width=10)
+    assert "10" in out and "5" in out
+
+
+def test_bar_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        ascii_bar_chart(["a"], [1.0, 2.0])
+
+
+# ------------------------------------------------------------------ sweep
+def test_run_lu_case_produces_measured_and_predicted():
+    cfg = LUConfig(
+        n=192, r=48, num_threads=4, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC
+    )
+    result = run_lu_case(SweepCase("case", cfg, seed=2))
+    assert result.measured > 0
+    assert result.predicted > 0
+    # At small scale the models still agree reasonably.
+    assert abs(result.error) < 0.5
+
+
+def test_sweep_feeds_study():
+    study = PredictionStudy()
+    cfgs = [
+        LUConfig(n=192, r=48, num_threads=4, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC),
+        LUConfig(n=192, r=96, num_threads=4, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC),
+    ]
+    cases = [SweepCase(f"c{i}", cfg, seed=1) for i, cfg in enumerate(cfgs)]
+    results = sweep(cases, study=study)
+    assert len(results) == 2
+    assert len(study.records) == 2
+    assert study.records[0].label == "c0"

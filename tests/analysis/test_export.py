@@ -1,0 +1,147 @@
+"""Trace export: Chrome trace-event JSON and CSV round trips."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    STEP_COLUMNS,
+    TRANSFER_COLUMNS,
+    steps_to_csv,
+    to_chrome_trace,
+    transfers_to_csv,
+    write_chrome_trace,
+)
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.dps.trace import TraceLevel
+from repro.errors import SimulationError
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    """One small stencil run with a FULL trace."""
+    cfg = StencilConfig(n=32, stripes=4, iterations=3, num_threads=4, num_nodes=2)
+    model = StencilCostModel(PAPER_CLUSTER.machine, cfg.rows, cfg.n)
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(model, run_kernels=True),
+        trace_level=TraceLevel.FULL,
+    )
+    return sim.run(StencilApplication(cfg))
+
+
+@pytest.fixture(scope="module")
+def summary_run():
+    cfg = StencilConfig(n=32, stripes=4, iterations=2, num_threads=4, num_nodes=2)
+    model = StencilCostModel(PAPER_CLUSTER.machine, cfg.rows, cfg.n)
+    sim = DPSSimulator(PAPER_CLUSTER, CostModelProvider(model, run_kernels=True))
+    return sim.run(StencilApplication(cfg))
+
+
+# --------------------------------------------------------------------------
+# chrome trace
+# --------------------------------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_document_structure(self, full_run):
+        doc = to_chrome_trace(full_run.run)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+
+    def test_one_duration_event_per_step(self, full_run):
+        doc = to_chrome_trace(full_run.run, include_transfers=False,
+                              include_phases=False)
+        durations = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(durations) == len(full_run.run.trace.steps)
+
+    def test_transfer_events_present(self, full_run):
+        doc = to_chrome_trace(full_run.run)
+        transfers = [
+            e for e in doc["traceEvents"] if e.get("cat") == "transfer"
+        ]
+        assert len(transfers) == len(full_run.run.trace.transfers)
+        for event in transfers:
+            assert event["args"]["size_bytes"] >= 0
+
+    def test_phase_instants(self, full_run):
+        doc = to_chrome_trace(full_run.run)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            label for _, label in full_run.run.phases
+        ]
+
+    def test_timestamps_in_microseconds(self, full_run):
+        doc = to_chrome_trace(full_run.run, include_transfers=False,
+                              include_phases=False)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        last_end = max(e["ts"] + e["dur"] for e in events)
+        assert last_end == pytest.approx(
+            max(s.end for s in full_run.run.trace.steps) * 1e6
+        )
+
+    def test_json_serializable(self, full_run):
+        text = json.dumps(to_chrome_trace(full_run.run))
+        assert json.loads(text)["traceEvents"]
+
+    def test_write_to_file(self, full_run, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(full_run.run, str(path))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+
+    def test_requires_full_trace(self, summary_run):
+        with pytest.raises(SimulationError, match="TraceLevel.FULL"):
+            to_chrome_trace(summary_run.run)
+
+    def test_metadata_names_nodes_and_threads(self, full_run):
+        doc = to_chrome_trace(full_run.run)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+
+# --------------------------------------------------------------------------
+# CSV
+# --------------------------------------------------------------------------
+
+
+class TestCsv:
+    def test_steps_header_and_rows(self, full_run):
+        text = steps_to_csv(full_run.run.trace)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert tuple(rows[0]) == STEP_COLUMNS
+        assert len(rows) - 1 == len(full_run.run.trace.steps)
+
+    def test_steps_numeric_roundtrip(self, full_run):
+        text = steps_to_csv(full_run.run.trace)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        for row, step in zip(rows, full_run.run.trace.steps):
+            assert float(row["start"]) == pytest.approx(step.start)
+            assert float(row["duration"]) == pytest.approx(step.duration, abs=1e-9)
+            assert row["kernel"] == step.kernel
+
+    def test_transfers_header_and_rows(self, full_run):
+        text = transfers_to_csv(full_run.run.trace)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert tuple(rows[0]) == TRANSFER_COLUMNS
+        assert len(rows) - 1 == len(full_run.run.trace.transfers)
+
+    def test_csv_written_to_file(self, full_run, tmp_path):
+        path = tmp_path / "steps.csv"
+        text = steps_to_csv(full_run.run.trace, str(path))
+        assert path.read_text() == text
+
+    def test_requires_full_trace(self, summary_run):
+        with pytest.raises(SimulationError):
+            steps_to_csv(summary_run.run.trace)
+        with pytest.raises(SimulationError):
+            transfers_to_csv(summary_run.run.trace)

@@ -1,0 +1,104 @@
+"""Timing-diagram rendering from full traces."""
+
+import pytest
+
+from repro.analysis.timeline import node_lanes, phase_summary, render_timeline
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.dps.malleability import AllocationEvent, AllocationSchedule
+from repro.dps.trace import TraceLevel
+from repro.errors import ConfigurationError
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+
+
+@pytest.fixture(scope="module")
+def lu_run():
+    cfg = LUConfig(
+        n=192, r=48, num_threads=4, num_nodes=4, mode=SimulationMode.PDEXEC_NOALLOC
+    )
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(LUCostModel(PAPER_CLUSTER.machine, cfg.r)),
+        trace_level=TraceLevel.FULL,
+    )
+    return sim.run(LUApplication(cfg)).run
+
+
+def test_lanes_cover_all_nodes(lu_run):
+    lanes = node_lanes(lu_run, width=40)
+    assert set(lanes) == {0, 1, 2, 3}
+    assert all(len(cells) == 40 for cells in lanes.values())
+    for cells in lanes.values():
+        assert all(0.0 <= c.busy <= 1.0 for c in cells)
+
+
+def test_busy_fraction_consistent_with_trace(lu_run):
+    lanes = node_lanes(lu_run, width=200)
+    for node, cells in lanes.items():
+        approx_busy = sum(c.busy for c in cells) / len(cells)
+        # Wall-clock busy fraction (stretched durations) is at least the
+        # uncontended work fraction recorded in the summary.
+        work_fraction = lu_run.trace.node_work.get(node, 0.0) / lu_run.makespan
+        assert approx_busy >= work_fraction * 0.9 - 0.02
+
+
+def test_render_contains_lanes_and_legend(lu_run):
+    out = render_timeline(lu_run, width=60, title="LU")
+    lines = out.splitlines()
+    assert lines[0] == "LU"
+    assert sum(1 for l in lines if l.startswith("node ")) == 4
+    assert "legend" in lines[-1]
+    assert "#" in out  # some column is busy
+
+
+def test_requires_full_trace():
+    cfg = LUConfig(
+        n=96, r=24, num_threads=2, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC
+    )
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(LUCostModel(PAPER_CLUSTER.machine, cfg.r)),
+        trace_level=TraceLevel.SUMMARY,
+    )
+    res = sim.run(LUApplication(cfg))
+    with pytest.raises(ConfigurationError):
+        render_timeline(res.run)
+
+
+def test_invalid_window_rejected(lu_run):
+    with pytest.raises(ConfigurationError):
+        node_lanes(lu_run, width=0)
+    with pytest.raises(ConfigurationError):
+        node_lanes(lu_run, start=1.0, end=1.0)
+
+
+def test_deallocated_nodes_render_blank():
+    sched = AllocationSchedule(
+        events=(AllocationEvent("iter1", "workers", (2, 3)),), name="kill2"
+    )
+    cfg = LUConfig(
+        n=192, r=48, num_threads=4, num_nodes=4,
+        schedule=sched, mode=SimulationMode.PDEXEC_NOALLOC,
+    )
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(LUCostModel(PAPER_CLUSTER.machine, cfg.r)),
+        trace_level=TraceLevel.FULL,
+    )
+    res = sim.run(LUApplication(cfg))
+    out = render_timeline(res.run, width=50)
+    node3 = next(l for l in out.splitlines() if l.startswith("node 3"))
+    # The tail of node 3's lane is blank after deallocation.
+    body = node3.split("|")[1]
+    assert body.endswith("  ") or body.rstrip(" ") != body
+
+
+def test_phase_summary_lines(lu_run):
+    out = phase_summary(lu_run)
+    lines = out.splitlines()
+    assert len(lines) == 4  # one per iteration
+    assert all("efficiency" in l for l in lines)

@@ -1,0 +1,147 @@
+"""What-if studies: network sweeps, kernel attribution, sensitivity grids."""
+
+import pytest
+
+from repro.analysis.whatif import (
+    kernel_speedup_study,
+    latency_bandwidth_grid,
+    network_sweep,
+    render_grid,
+    render_kernel_study,
+    render_network_sweep,
+)
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.netmodel.params import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkParams
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+
+
+CFG = StencilConfig(
+    n=256,
+    stripes=8,
+    iterations=4,
+    num_threads=4,
+    num_nodes=4,
+    mode=SimulationMode.PDEXEC_NOALLOC,
+)
+
+
+def app_factory():
+    return StencilApplication(CFG)
+
+
+def model_factory():
+    return StencilCostModel(PAPER_CLUSTER.machine, CFG.rows, CFG.n)
+
+
+# --------------------------------------------------------------------------
+# network sweep
+# --------------------------------------------------------------------------
+
+
+class TestNetworkSweep:
+    def test_faster_network_faster_app(self):
+        entries = network_sweep(
+            app_factory,
+            model_factory,
+            PAPER_CLUSTER,
+            {"fast": FAST_ETHERNET, "gigabit": GIGABIT_ETHERNET},
+        )
+        assert entries[0].predicted_time > entries[1].predicted_time
+        assert entries[1].speedup > 1.0
+
+    def test_baseline_speedup_is_one(self):
+        entries = network_sweep(
+            app_factory, model_factory, PAPER_CLUSTER,
+            {"base": FAST_ETHERNET, "same": FAST_ETHERNET},
+        )
+        assert entries[0].speedup == pytest.approx(1.0)
+        assert entries[1].speedup == pytest.approx(1.0)
+
+    def test_render(self):
+        entries = network_sweep(
+            app_factory, model_factory, PAPER_CLUSTER,
+            {"fast": FAST_ETHERNET},
+        )
+        text = render_network_sweep(entries)
+        assert "interconnect sweep" in text
+        assert "fast" in text
+
+
+# --------------------------------------------------------------------------
+# kernel speedup attribution
+# --------------------------------------------------------------------------
+
+
+class TestKernelStudy:
+    def test_dominant_kernel_identified(self):
+        entries = kernel_speedup_study(
+            app_factory, model_factory, PAPER_CLUSTER,
+            kernels=("jacobi", "overhead"),
+            factor=0.5,
+        )
+        by_name = {e.kernel: e for e in entries}
+        # The sweep kernel dominates a compute-heavy stencil; control
+        # handling does not.
+        assert by_name["jacobi"].speedup > by_name["overhead"].speedup
+        assert by_name["jacobi"].worth_optimizing
+
+    def test_speedup_never_negative(self):
+        entries = kernel_speedup_study(
+            app_factory, model_factory, PAPER_CLUSTER,
+            kernels=("jacobi",), factor=0.25,
+        )
+        # Accelerating a kernel can only help (or not matter).
+        assert entries[0].speedup >= 1.0 - 1e-9
+
+    def test_slowdown_factor_allowed(self):
+        entries = kernel_speedup_study(
+            app_factory, model_factory, PAPER_CLUSTER,
+            kernels=("jacobi",), factor=2.0,
+        )
+        assert entries[0].speedup < 1.0
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            kernel_speedup_study(
+                app_factory, model_factory, PAPER_CLUSTER,
+                kernels=("jacobi",), factor=0.0,
+            )
+
+    def test_render(self):
+        entries = kernel_speedup_study(
+            app_factory, model_factory, PAPER_CLUSTER,
+            kernels=("jacobi",),
+        )
+        text = render_kernel_study(entries, baseline=1.0)
+        assert "kernel acceleration" in text
+        assert "jacobi" in text
+
+
+# --------------------------------------------------------------------------
+# latency/bandwidth grid
+# --------------------------------------------------------------------------
+
+
+class TestGrid:
+    def test_grid_shape_and_monotonicity(self):
+        latencies = (0.0, 1e-4)
+        bandwidths = (1e7, 1e8)
+        grid = latency_bandwidth_grid(
+            app_factory, model_factory, PAPER_CLUSTER, latencies, bandwidths
+        )
+        assert set(grid) == {(l, b) for l in latencies for b in bandwidths}
+        # More bandwidth and less latency can only help.
+        assert grid[(0.0, 1e8)] <= grid[(1e-4, 1e7)]
+        for l in latencies:
+            assert grid[(l, 1e8)] <= grid[(l, 1e7)] + 1e-12
+        for b in bandwidths:
+            assert grid[(0.0, b)] <= grid[(1e-4, b)] + 1e-12
+
+    def test_render(self):
+        grid = latency_bandwidth_grid(
+            app_factory, model_factory, PAPER_CLUSTER, (1e-4,), (1e7, 1e8)
+        )
+        text = render_grid(grid)
+        assert "grid" in text
+        assert "100 us" in text

@@ -1,0 +1,231 @@
+"""The command-line interface: parsing, each subcommand, error paths."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli.common import MODE_NAMES, parse_kill_events, parse_mode
+from repro.dps.malleability import STATIC
+from repro.errors import ConfigurationError
+from repro.sim.modes import SimulationMode
+
+
+# --------------------------------------------------------------------------
+# option parsing helpers
+# --------------------------------------------------------------------------
+
+
+class TestParseMode:
+    def test_known_modes(self):
+        assert parse_mode("direct") is SimulationMode.DIRECT
+        assert parse_mode("pdexec") is SimulationMode.PDEXEC
+        assert parse_mode("noalloc") is SimulationMode.PDEXEC_NOALLOC
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            parse_mode("direct-but-wrong")
+
+    def test_mode_names_cover_enum(self):
+        assert set(MODE_NAMES.values()) == set(SimulationMode)
+
+
+def test_matmul_direct_mode(capsys):
+    code = main([
+        "matmul", "--n", "96", "--s", "24", "--threads", "4", "--nodes", "2",
+        "--mode", "direct", "--verify",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verification           : OK" in out
+
+
+class TestParseKill:
+    def test_none_is_static(self):
+        assert parse_kill_events(None) is STATIC
+        assert parse_kill_events([]) is STATIC
+
+    def test_single_event(self):
+        sched = parse_kill_events(["4,5,6,7@1"])
+        assert len(sched.events) == 1
+        event = sched.events[0]
+        assert event.after_phase == "iter1"
+        assert event.group == "workers"
+        assert event.thread_indices == (4, 5, 6, 7)
+
+    def test_multiple_events(self):
+        sched = parse_kill_events(["6,7@2", "4,5@3"])
+        assert [e.after_phase for e in sched.events] == ["iter2", "iter3"]
+        assert sched.total_removed == 4
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_kill_events(["4,5"])
+        with pytest.raises(ConfigurationError):
+            parse_kill_events(["x@1"])
+        with pytest.raises(ConfigurationError):
+            parse_kill_events(["@1"])
+
+
+# --------------------------------------------------------------------------
+# parser structure
+# --------------------------------------------------------------------------
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+@pytest.mark.parametrize(
+    "command",
+    ["lu", "stencil", "sort", "matmul", "efficiency", "calibrate", "graph"],
+)
+def test_all_commands_registered(command):
+    parser = build_parser()
+    extra = ["lu"] if command == "graph" else []
+    args = parser.parse_args([command] + extra)
+    assert callable(args.func)
+
+
+# --------------------------------------------------------------------------
+# subcommand runs (small configurations)
+# --------------------------------------------------------------------------
+
+
+def test_lu_sim(capsys):
+    code = main([
+        "lu", "--n", "648", "--r", "216", "--threads", "4", "--nodes", "2",
+        "--mode", "noalloc",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "predicted running time" in out
+    assert "variant=basic" in out
+
+
+def test_lu_variants_and_kill(capsys):
+    code = main([
+        "lu", "--n", "648", "--r", "162", "--threads", "4", "--nodes", "2",
+        "--pipelined", "--fc", "4", "--mode", "noalloc",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "variant=P+FC" in out
+
+    code = main([
+        "lu", "--n", "648", "--r", "162", "--threads", "4", "--nodes", "4",
+        "--kill", "2,3@1", "--mode", "noalloc",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kill 2,3@1" in out
+
+
+def test_stencil_both_engines_with_verify(capsys):
+    code = main([
+        "stencil", "--n", "48", "--stripes", "4", "--iterations", "3",
+        "--threads", "4", "--nodes", "2", "--engine", "both", "--verify",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "prediction error" in out
+    assert out.count("verification           : OK") == 2
+
+
+def test_stencil_kill_without_barrier_fails(capsys):
+    code = main([
+        "stencil", "--n", "48", "--stripes", "4", "--iterations", "3",
+        "--threads", "4", "--nodes", "4", "--kill", "2,3@1",
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sort_testbed_with_verify(capsys):
+    code = main([
+        "sort", "--m", "3000", "--threads", "4", "--nodes", "2",
+        "--engine", "testbed", "--verify",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "measured running time" in out
+
+
+def test_matmul_sim(capsys):
+    code = main([
+        "matmul", "--n", "96", "--s", "24", "--threads", "4", "--nodes", "2",
+        "--engine", "sim", "--verify",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verification           : OK" in out
+
+
+def test_efficiency_table(capsys):
+    code = main([
+        "efficiency", "--n", "648", "--r", "81", "--threads", "8", "--nodes", "4",
+        "--kill", "4,5,6,7@1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dynamic efficiency" in out
+    assert "iter1" in out
+    assert "whole-run efficiency" in out
+
+
+def test_calibrate_star_matches_parameters(capsys):
+    code = main(["calibrate", "--target", "star"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fitted latency" in out
+    assert "fitted bandwidth : 11.6" in out  # the paper's Fast Ethernet
+
+
+def test_calibrate_testbed(capsys):
+    code = main(["calibrate", "--target", "testbed", "--nodes", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fitted bandwidth" in out
+
+
+@pytest.mark.parametrize(
+    "app", ["lu", "lu-pipelined", "stencil", "stencil-barrier", "sort", "matmul"]
+)
+def test_graph_dump(app, capsys):
+    code = main(["graph", app])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flow graph" in out
+    assert "edges" in out
+
+
+def test_graph_lu_pipelined_has_streams(capsys):
+    main(["graph", "lu-pipelined"])
+    out = capsys.readouterr().out
+    assert "stream" in out
+
+
+def test_server_all_policies(capsys):
+    code = main(["server", "--jobs", "6", "--nodes", "12", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for policy in ("static", "fcfs", "fcfs+backfill", "equipartition", "adaptive"):
+        assert policy in out
+    assert "service rate" in out
+
+
+def test_server_policy_selection(capsys):
+    code = main([
+        "server", "--jobs", "4", "--policy", "adaptive",
+        "--workload", "mixed",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "adaptive" in out
+    assert "static" not in out
+
+
+def test_server_unknown_policy_fails(capsys):
+    code = main(["server", "--jobs", "4", "--policy", "wishful"])
+    assert code == 2
+    assert "unknown policies" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Cluster server: workloads, schedulers, and the server simulation."""
+
+import math
+
+import pytest
+
+from repro.clusterserver.scheduler import (
+    AdaptiveEfficiencyScheduler,
+    EquipartitionScheduler,
+    StaticScheduler,
+)
+from repro.clusterserver.server import ClusterServer
+from repro.clusterserver.workload import (
+    JobSpec,
+    MalleableJob,
+    amdahl_efficiency,
+    lu_like_job,
+    synthetic_workload,
+)
+from repro.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------- workload
+def test_amdahl_efficiency_decreasing():
+    eff = amdahl_efficiency(0.95)
+    values = [eff(n) for n in (1, 2, 4, 8, 16)]
+    assert values[0] == 1.0
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_lu_like_job_decaying_phases():
+    spec = lu_like_job("j", arrival=0.0, nb=8)
+    works = spec.phase_work
+    assert len(works) == 8
+    assert all(a > b for a, b in zip(works, works[1:]))
+
+
+def test_job_spec_validation():
+    with pytest.raises(ConfigurationError):
+        JobSpec("j", arrival=-1.0, phase_work=(1.0,), efficiency=lambda n: 1.0)
+    with pytest.raises(ConfigurationError):
+        JobSpec("j", arrival=0.0, phase_work=(), efficiency=lambda n: 1.0)
+    with pytest.raises(ConfigurationError):
+        JobSpec("j", arrival=0.0, phase_work=(0.0,), efficiency=lambda n: 1.0)
+
+
+def test_malleable_job_advance_and_phases():
+    spec = JobSpec("j", 0.0, (2.0, 1.0), amdahl_efficiency(1.0))
+    job = MalleableJob(spec)
+    job.nodes = 2
+    assert job.rate() == pytest.approx(2.0)
+    job.advance(1.0)  # completes phase 0 exactly
+    assert job.phase == 1
+    assert job.remaining_work == pytest.approx(1.0)
+    job.advance(0.5)
+    assert job.done
+    assert job.node_seconds == pytest.approx(3.0)
+
+
+def test_job_zero_nodes_makes_no_progress():
+    spec = JobSpec("j", 0.0, (1.0,), amdahl_efficiency(1.0))
+    job = MalleableJob(spec)
+    job.advance(10.0)
+    assert not job.done
+    assert math.isinf(job.time_to_phase_end())
+
+
+def test_synthetic_workload_deterministic():
+    a = synthetic_workload(jobs=5, seed=1)
+    b = synthetic_workload(jobs=5, seed=1)
+    assert [j.arrival for j in a] == [j.arrival for j in b]
+    assert [j.phase_work for j in a] == [j.phase_work for j in b]
+
+
+# ---------------------------------------------------------------- scheduler
+def _jobs(n, max_nodes=8):
+    return [
+        MalleableJob(lu_like_job(f"j{i}", arrival=float(i), max_nodes=max_nodes))
+        for i in range(n)
+    ]
+
+
+def test_equipartition_divides_evenly():
+    jobs = _jobs(3)
+    alloc = EquipartitionScheduler().allocate(jobs, 12)
+    assert sorted(alloc.values()) == [4, 4, 4]
+
+
+def test_equipartition_respects_max_nodes():
+    jobs = _jobs(2, max_nodes=3)
+    alloc = EquipartitionScheduler().allocate(jobs, 12)
+    assert all(v <= 3 for v in alloc.values())
+
+
+def test_static_grants_and_queues():
+    jobs = _jobs(3)
+    sched = StaticScheduler(nodes_per_job=8)
+    alloc = sched.allocate(jobs, 16)
+    granted = sorted(alloc.values())
+    assert granted == [0, 8, 8]  # third job queues
+
+
+def test_adaptive_shrinks_inefficient_jobs():
+    sched = AdaptiveEfficiencyScheduler(efficiency_floor=0.8)
+    poor = MalleableJob(
+        JobSpec("poor", 0.0, (10.0,), amdahl_efficiency(0.5), max_nodes=16)
+    )
+    alloc = sched.allocate([poor], 16)
+    # With a 50% serial fraction, extra nodes buy almost nothing.
+    assert alloc[poor] <= 2
+
+
+def test_adaptive_grows_efficient_jobs():
+    sched = AdaptiveEfficiencyScheduler(efficiency_floor=0.5)
+    good = MalleableJob(
+        JobSpec("good", 0.0, (10.0,), amdahl_efficiency(0.999), max_nodes=8)
+    )
+    alloc = sched.allocate([good], 16)
+    assert alloc[good] >= 6
+
+
+# ------------------------------------------------------------------- server
+@pytest.mark.parametrize(
+    "scheduler",
+    [StaticScheduler(8), EquipartitionScheduler(), AdaptiveEfficiencyScheduler()],
+)
+def test_server_completes_workload(scheduler):
+    workload = synthetic_workload(jobs=6, mean_interarrival=20.0, seed=3)
+    result = ClusterServer(16, scheduler).run(workload)
+    assert len(result.job_turnaround) == 6
+    assert all(t > 0 for t in result.job_turnaround.values())
+    assert result.makespan > 0
+    assert 0 < result.cluster_efficiency <= 1.0
+
+
+def test_malleable_policies_beat_static_turnaround():
+    workload = synthetic_workload(jobs=10, mean_interarrival=15.0, seed=5)
+    static = ClusterServer(16, StaticScheduler(8)).run(workload)
+    equi = ClusterServer(16, EquipartitionScheduler()).run(workload)
+    assert equi.mean_turnaround < static.mean_turnaround
+
+
+def test_single_job_uses_cluster_alone():
+    job = lu_like_job("solo", arrival=0.0, nb=4, max_nodes=8)
+    result = ClusterServer(8, EquipartitionScheduler()).run([job])
+    assert result.job_node_seconds["solo"] > 0
+    # Turnaround bounded below by perfect-speedup time.
+    assert result.job_turnaround["solo"] >= job.total_work / 8 - 1e-9

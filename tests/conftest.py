@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpumodel.machines import ULTRASPARC_II_440
+from repro.des.kernel import Kernel
+from repro.netmodel.params import NetworkParams
+from repro.sim.platform import PlatformSpec
+from repro.sim.providers import CostModelProvider, MachineCostModel
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh discrete-event kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def net_params() -> NetworkParams:
+    """Simple network parameters: 100 us latency, 10 MB/s, no overhead."""
+    return NetworkParams(latency=1e-4, bandwidth=1e7, per_object_overhead=0.0)
+
+
+@pytest.fixture
+def platform(net_params: NetworkParams) -> PlatformSpec:
+    """Deterministic platform for runtime-level tests."""
+    return PlatformSpec(machine=ULTRASPARC_II_440, network=net_params)
+
+
+@pytest.fixture
+def pdexec_provider() -> CostModelProvider:
+    """PDEXEC provider over the UltraSparc profile (no payload execution)."""
+    return CostModelProvider(MachineCostModel(ULTRASPARC_II_440))

@@ -1,0 +1,63 @@
+"""Communication CPU-cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpumodel.commcost import (
+    CommCostModel,
+    CommCostParams,
+    FREE_COMMUNICATION,
+)
+
+
+def test_no_transfers_no_cost():
+    m = CommCostModel()
+    assert m.consumed_power(0, 0) == 0.0
+    assert m.available_power(0, 0) == 1.0
+
+
+def test_receive_costs_more_than_send():
+    """Paper: receiving induces more interrupts and memory copies."""
+    m = CommCostModel()
+    assert m.consumed_power(1, 0) > m.consumed_power(0, 1)
+
+
+def test_marginal_cost_decays():
+    m = CommCostModel(CommCostParams(recv_fraction=0.1, marginal_decay=0.5, max_fraction=1.0))
+    first = m.consumed_power(1, 0)
+    second = m.consumed_power(2, 0) - m.consumed_power(1, 0)
+    assert second < first
+    assert second == pytest.approx(first * 0.5)
+
+
+def test_saturation_cap():
+    m = CommCostModel(CommCostParams(recv_fraction=0.3, marginal_decay=1.0, max_fraction=0.5))
+    assert m.consumed_power(10, 10) == 0.5
+    assert m.available_power(10, 10) == 0.5
+
+
+def test_free_communication_preset():
+    m = CommCostModel(FREE_COMMUNICATION)
+    assert m.consumed_power(5, 5) == 0.0
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_power_bounds(inc, out):
+    m = CommCostModel()
+    consumed = m.consumed_power(inc, out)
+    assert 0.0 <= consumed <= m.params.max_fraction
+    assert m.available_power(inc, out) == pytest.approx(1.0 - consumed)
+
+
+@given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+def test_monotone_in_counts(inc, out):
+    m = CommCostModel()
+    assert m.consumed_power(inc + 1, out) >= m.consumed_power(inc, out)
+    assert m.consumed_power(inc, out + 1) >= m.consumed_power(inc, out)
+
+
+def test_params_validation():
+    with pytest.raises(Exception):
+        CommCostParams(recv_fraction=1.5)
+    with pytest.raises(Exception):
+        CommCostParams(marginal_decay=-0.1)

@@ -1,0 +1,90 @@
+"""Even-share CPU model and its coupling to the network."""
+
+import pytest
+
+from repro.cpumodel.commcost import CommCostModel, CommCostParams
+from repro.cpumodel.shared import SharedCpuModel
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+
+def test_single_step_runs_at_full_power(kernel):
+    cpu = SharedCpuModel(kernel)
+    done = []
+    cpu.submit(0, 2.0, lambda h: done.append(kernel.now))
+    kernel.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_two_steps_share_node_evenly(kernel):
+    cpu = SharedCpuModel(kernel)
+    done = {}
+    cpu.submit(0, 1.0, lambda h: done.setdefault("a", kernel.now))
+    cpu.submit(0, 1.0, lambda h: done.setdefault("b", kernel.now))
+    kernel.run()
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(2.0)
+
+
+def test_steps_on_different_nodes_independent(kernel):
+    cpu = SharedCpuModel(kernel)
+    done = {}
+    cpu.submit(0, 1.0, lambda h: done.setdefault("a", kernel.now))
+    cpu.submit(1, 1.0, lambda h: done.setdefault("b", kernel.now))
+    kernel.run()
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(1.0)
+
+
+def test_zero_work_completes_instantly(kernel):
+    cpu = SharedCpuModel(kernel)
+    done = []
+    cpu.submit(0, 0.0, lambda h: done.append(kernel.now))
+    assert done == [0.0]
+
+
+def test_negative_work_rejected(kernel):
+    cpu = SharedCpuModel(kernel)
+    with pytest.raises(SimulationError):
+        cpu.submit(0, -1.0, lambda h: None)
+
+
+def test_communication_slows_computation(kernel):
+    """The paper's coupling: transfers consume processing power."""
+    params = CommCostParams(
+        recv_fraction=0.0, send_fraction=0.2, marginal_decay=1.0, max_fraction=0.9
+    )
+    net = EqualShareStarNetwork(
+        kernel, NetworkParams(latency=0.0, bandwidth=1e6, per_object_overhead=0.0)
+    )
+    cpu = SharedCpuModel(kernel, CommCostModel(params))
+    cpu.attach_network(net)
+    done = {}
+    # Transfer occupies [0, 1]: 1 MB at 1 MB/s, costing 20% CPU on node 0.
+    net.submit(0, 1, 1e6, lambda tr: done.setdefault("net", kernel.now))
+    cpu.submit(0, 1.0, lambda h: done.setdefault("cpu", kernel.now))
+    kernel.run()
+    assert done["net"] == pytest.approx(1.0)
+    # During [0,1] the step runs at 0.8 -> 0.2 work left -> ends at 1.2.
+    assert done["cpu"] == pytest.approx(1.2)
+
+
+def test_completed_work_accounting(kernel):
+    cpu = SharedCpuModel(kernel)
+    cpu.submit(0, 1.0, lambda h: None)
+    cpu.submit(0, 2.0, lambda h: None)
+    cpu.submit(1, 0.5, lambda h: None)
+    kernel.run()
+    assert cpu.completed_work[0] == pytest.approx(3.0)
+    assert cpu.completed_work[1] == pytest.approx(0.5)
+
+
+def test_running_steps_counter(kernel):
+    cpu = SharedCpuModel(kernel)
+    cpu.submit(0, 1.0, lambda h: None)
+    cpu.submit(0, 1.0, lambda h: None)
+    assert cpu.running_steps(0) == 2
+    kernel.run()
+    assert cpu.running_steps(0) == 0

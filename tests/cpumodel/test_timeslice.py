@@ -1,0 +1,62 @@
+"""Testbed CPU model: overhead, noise, determinism."""
+
+import pytest
+
+from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+from repro.des.kernel import Kernel
+
+
+def run_two_steps(seed: int, csw: float = 0.1, noise: float = 0.0):
+    kernel = Kernel()
+    cpu = TimesliceCpuModel(
+        kernel, TimesliceParams(csw_overhead=csw, noise_sigma=noise), seed=seed
+    )
+    done = []
+    cpu.submit(0, 1.0, lambda h: done.append(kernel.now))
+    cpu.submit(0, 1.0, lambda h: done.append(kernel.now))
+    kernel.run()
+    return done
+
+
+def test_multiprogramming_overhead_slows_aggregate():
+    done = run_two_steps(seed=0, csw=0.1, noise=0.0)
+    # Fluid ideal would finish both at t=2; the overheadful model later.
+    assert all(t > 2.0 for t in done)
+    assert done[0] == pytest.approx(2.0 * 1.1, rel=1e-6)
+
+
+def test_single_step_pays_no_overhead():
+    kernel = Kernel()
+    cpu = TimesliceCpuModel(
+        kernel, TimesliceParams(csw_overhead=0.1, noise_sigma=0.0), seed=0
+    )
+    done = []
+    cpu.submit(0, 1.0, lambda h: done.append(kernel.now))
+    kernel.run()
+    assert done == [pytest.approx(1.0)]
+
+
+def test_noise_is_seeded_and_reproducible():
+    a = run_two_steps(seed=3, noise=0.05)
+    b = run_two_steps(seed=3, noise=0.05)
+    c = run_two_steps(seed=4, noise=0.05)
+    assert a == b
+    assert a != c
+
+
+def test_noise_perturbs_durations():
+    clean = run_two_steps(seed=5, noise=0.0)
+    noisy = run_two_steps(seed=5, noise=0.05)
+    assert clean != noisy
+    # noise is small: within 20%
+    for x, y in zip(clean, noisy):
+        assert abs(x - y) / x < 0.2
+
+
+def test_convex_comm_cost_is_superlinear():
+    from repro.cpumodel.timeslice import _ConvexCommCost
+
+    cost = _ConvexCommCost(TimesliceParams())
+    one = cost.consumed_power(1, 0)
+    two = cost.consumed_power(2, 0)
+    assert two > 2 * one * 0.999  # superlinear in the count

@@ -1,0 +1,209 @@
+"""Fluid pools: progress integration, reallocation, conservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des.fluid import FluidPool, FluidTask
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+
+
+def equal_share(capacity: float):
+    """Allocator: split ``capacity`` evenly among active tasks."""
+
+    def allocate(tasks):
+        share = capacity / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    return allocate
+
+
+def test_single_task_duration(kernel):
+    pool = FluidPool(kernel, equal_share(2.0))
+    done = []
+    pool.add(FluidTask(10.0, lambda t: done.append(kernel.now)))
+    kernel.run()
+    assert done == [pytest.approx(5.0)]
+
+
+def test_two_tasks_share_capacity(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    done = {}
+    pool.add(FluidTask(1.0, lambda t: done.setdefault("a", kernel.now)))
+    pool.add(FluidTask(3.0, lambda t: done.setdefault("b", kernel.now)))
+    kernel.run()
+    # Both run at 0.5 until a finishes at t=2; then b alone: 2 remaining at 1.0.
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(4.0)
+
+
+def test_late_arrival_slows_existing_task(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    done = {}
+    pool.add(FluidTask(2.0, lambda t: done.setdefault("first", kernel.now)))
+    kernel.schedule(1.0, lambda: pool.add(FluidTask(0.5, lambda t: done.setdefault("second", kernel.now))))
+    kernel.run()
+    # first: 1 unit alone by t=1; shares 0.5/s until second ends at t=2
+    # (0.5 more done), then finishes its last 0.5 alone at t=2.5.
+    assert done["second"] == pytest.approx(2.0)
+    assert done["first"] == pytest.approx(2.5)
+
+
+def test_zero_work_completes_immediately(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    done = []
+    pool.add(FluidTask(0.0, lambda t: done.append(kernel.now)))
+    assert done == [0.0]
+    assert len(pool) == 0
+
+
+def test_starved_tasks_wait_for_membership_change(kernel):
+    def starve_b(tasks):
+        for t in tasks:
+            t.rate = 1.0 if t.tag == "a" else 0.0
+
+    pool = FluidPool(kernel, starve_b)
+    done = {}
+    pool.add(FluidTask(1.0, lambda t: done.setdefault("a", kernel.now), tag="a"))
+    pool.add(FluidTask(1.0, lambda t: done.setdefault("b", kernel.now), tag="b"))
+    kernel.run()
+    # b starves until a completes; then b is alone but still tag "b"...
+    # allocator gives rate 0 forever -> b never completes, pool retains it.
+    assert done == {"a": pytest.approx(1.0)}
+    assert len(pool) == 1
+
+
+def test_remove_withdraws_task(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    done = []
+    task = FluidTask(10.0, lambda t: done.append("late"))
+    pool.add(task)
+    pool.add(FluidTask(1.0, lambda t: done.append("quick")))
+    kernel.schedule(0.5, lambda: pool.remove(task))
+    kernel.run()
+    assert done == ["quick"]
+    assert not task.active
+
+
+def test_remove_unknown_task_raises(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    with pytest.raises(SimulationError):
+        pool.remove(FluidTask(1.0, lambda t: None))
+
+
+def test_negative_rate_rejected(kernel):
+    def bad(tasks):
+        for t in tasks:
+            t.rate = -1.0
+
+    pool = FluidPool(kernel, bad)
+    with pytest.raises(SimulationError):
+        pool.add(FluidTask(1.0, lambda t: None))
+
+
+def test_double_admission_rejected(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    task = FluidTask(5.0, lambda t: None)
+    pool.add(task)
+    with pytest.raises(SimulationError):
+        pool.add(task)
+
+
+def test_completion_accounting(kernel):
+    pool = FluidPool(kernel, equal_share(1.0))
+    for w in (1.0, 2.0, 3.0):
+        pool.add(FluidTask(w, lambda t: None))
+    kernel.run()
+    assert pool.completed_tasks == 3
+    assert pool.completed_work == pytest.approx(6.0)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_work_conservation_under_equal_share(works, capacity):
+    """Total completion time x capacity == total work (conservation)."""
+    kernel = Kernel()
+    pool = FluidPool(kernel, equal_share(capacity))
+    for w in works:
+        pool.add(FluidTask(w, lambda t: None))
+    end = kernel.run()
+    # With all tasks admitted at t=0 and full capacity always in use,
+    # the pool drains exactly sum(works)/capacity seconds later.
+    assert end == pytest.approx(sum(works) / capacity, rel=1e-6)
+    assert pool.completed_tasks == len(works)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),  # arrival
+            st.floats(min_value=0.01, max_value=20.0),  # work
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_completion_order_and_times_monotonic(arrivals):
+    """Later-arriving work never completes before the clock reaches it."""
+    kernel = Kernel()
+    pool = FluidPool(kernel, equal_share(1.0))
+    finished = []
+
+    def admit(work):
+        pool.add(FluidTask(work, lambda t: finished.append(kernel.now)))
+
+    for arrival, work in arrivals:
+        kernel.schedule(arrival, admit, work)
+    kernel.run()
+    assert len(finished) == len(arrivals)
+    assert finished == sorted(finished)
+    total_work = sum(w for _, w in arrivals)
+    assert kernel.now <= max(a for a, _ in arrivals) + total_work + 1e-6
+
+
+def test_zeno_freeze_guard():
+    """Tiny residuals at large timestamps must not freeze the clock.
+
+    Regression: a task completing within less than one ulp of ``now``
+    produced a horizon event that fired without advancing time and
+    rescheduled itself forever (observed on zero-latency networks after
+    ~20 simulated seconds).
+    """
+    kernel = Kernel()
+
+    def equal_share(tasks):
+        for t in tasks:
+            t.rate = 1e8 / len(tasks)
+
+    pool = FluidPool(kernel, equal_share)
+    # Jump the clock far ahead so float resolution is coarse.
+    kernel.schedule(1e6, lambda: None)
+    kernel.run()
+    done = []
+    # A large task plus a sliver: the sliver's completion horizon is far
+    # below the float64 resolution of now=1e6.
+    pool.add(FluidTask(1e9, lambda t: done.append("big")))
+    pool.add(FluidTask(1e-7, lambda t: done.append("sliver")))
+    kernel.run(until=kernel.now + 100.0)
+    assert "sliver" in done
+    assert "big" in done
+
+
+def test_zeno_guard_preserves_macroscopic_timing():
+    """The ulp padding must not perturb normal completion times."""
+    kernel = Kernel()
+
+    def fixed_rate(tasks):
+        for t in tasks:
+            t.rate = 1e6
+
+    pool = FluidPool(kernel, fixed_rate)
+    finish = []
+    pool.add(FluidTask(5e6, lambda t: finish.append(kernel.now)))
+    kernel.run()
+    assert finish[0] == pytest.approx(5.0, rel=1e-9)

@@ -1,0 +1,101 @@
+"""Kernel: clock semantics, run loop, tracing."""
+
+import pytest
+
+from repro.des.kernel import Kernel
+from repro.errors import SimulationError
+
+
+def test_clock_starts_at_zero(kernel):
+    assert kernel.now == 0.0
+    assert kernel.pending_events == 0
+
+
+def test_schedule_and_run(kernel):
+    seen = []
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(0.5, seen.append, "b")
+    end = kernel.run()
+    assert seen == ["b", "a"]
+    assert end == 1.0
+    assert kernel.events_executed == 2
+
+
+def test_schedule_negative_delay_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(kernel):
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_advances_clock_exactly(kernel):
+    kernel.schedule(10.0, lambda: None)
+    end = kernel.run(until=3.0)
+    assert end == 3.0
+    assert kernel.pending_events == 1
+    # resuming processes the remaining event
+    assert kernel.run() == 10.0
+
+
+def test_run_until_beyond_queue_advances_to_until(kernel):
+    kernel.schedule(1.0, lambda: None)
+    assert kernel.run(until=5.0) == 5.0
+
+
+def test_events_scheduled_during_run_execute(kernel):
+    seen = []
+
+    def first():
+        kernel.schedule(1.0, seen.append, "second")
+
+    kernel.schedule(1.0, first)
+    kernel.run()
+    assert seen == ["second"]
+    assert kernel.now == 2.0
+
+
+def test_cancel_prevents_execution(kernel):
+    seen = []
+    handle = kernel.schedule(1.0, seen.append, "x")
+    kernel.cancel(handle)
+    kernel.run()
+    assert seen == []
+
+
+def test_max_events_budget(kernel):
+    for i in range(5):
+        kernel.schedule(float(i + 1), lambda: None)
+    kernel.run(max_events=2)
+    assert kernel.events_executed == 2
+    assert kernel.pending_events == 3
+
+
+def test_trace_hook_sees_every_event(kernel):
+    trace = []
+    kernel.trace_hook = lambda t, cb, args: trace.append(t)
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.run()
+    assert trace == [1.0, 2.0]
+
+
+def test_reset_rewinds(kernel):
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    kernel.reset()
+    assert kernel.now == 0.0
+    assert kernel.pending_events == 0
+
+
+def test_run_not_reentrant(kernel):
+    def reenter():
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    kernel.schedule(1.0, reenter)
+    kernel.run()

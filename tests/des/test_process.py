@@ -1,0 +1,111 @@
+"""Generator processes: timeouts, signals, AllOf."""
+
+import pytest
+
+from repro.des.kernel import Kernel
+from repro.des.process import AllOf, Process, Signal, Timeout, WaitSignal, spawn
+from repro.errors import SimulationError
+
+
+def test_timeout_advances_clock(kernel):
+    marks = []
+
+    def proc():
+        yield Timeout(1.5)
+        marks.append(kernel.now)
+        yield Timeout(0.5)
+        marks.append(kernel.now)
+
+    spawn(kernel, proc())
+    kernel.run()
+    assert marks == [1.5, 2.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_process_result(kernel):
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = spawn(kernel, proc())
+    kernel.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_signal_wakes_waiters_with_value(kernel):
+    sig = Signal("data")
+    got = []
+
+    def waiter():
+        value = yield WaitSignal(sig)
+        got.append((kernel.now, value))
+
+    spawn(kernel, waiter())
+    spawn(kernel, waiter())
+    kernel.schedule(2.0, sig.fire, "hello")
+    kernel.run()
+    assert got == [(2.0, "hello"), (2.0, "hello")]
+
+
+def test_signal_fire_twice_rejected():
+    sig = Signal()
+    sig.fire()
+    with pytest.raises(SimulationError):
+        sig.fire()
+
+
+def test_wait_on_fired_signal_resumes_immediately(kernel):
+    sig = Signal()
+    sig.fire("v")
+    got = []
+
+    def waiter():
+        value = yield WaitSignal(sig)
+        got.append(value)
+
+    spawn(kernel, waiter())
+    kernel.run()
+    assert got == ["v"]
+
+
+def test_allof_waits_for_all_children(kernel):
+    sig = Signal()
+    done_at = []
+
+    def proc():
+        results = yield AllOf([Timeout(1.0), WaitSignal(sig), Timeout(3.0)])
+        done_at.append((kernel.now, results[1]))
+
+    spawn(kernel, proc())
+    kernel.schedule(2.0, sig.fire, "sig-value")
+    kernel.run()
+    assert done_at == [(3.0, "sig-value")]
+
+
+def test_allof_requires_children():
+    with pytest.raises(SimulationError):
+        AllOf([])
+
+
+def test_process_cannot_start_twice(kernel):
+    def proc():
+        yield Timeout(1.0)
+
+    p = Process(kernel, proc())
+    p.start()
+    with pytest.raises(SimulationError):
+        p.start()
+
+
+def test_unknown_descriptor_raises(kernel):
+    def proc():
+        yield "not-a-descriptor"
+
+    spawn(kernel, proc())
+    with pytest.raises(SimulationError, match="unknown descriptor"):
+        kernel.run()

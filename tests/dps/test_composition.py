@@ -1,0 +1,217 @@
+"""Flow-graph composition: substituting a leaf by a subgraph (paper Fig. 7).
+
+"The compositional nature of DPS allows us to replace operation (e) in
+Figure 5 by the flow graph shown in Figure 7."  Beyond the PM variant's
+use inside the LU app, composition must preserve structural invariants
+for arbitrary subgraphs — checked here both structurally (hypothesis over
+random chain subgraphs) and behaviourally (a composed graph runs and
+produces the same results as the original).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpumodel.shared import SharedCpuModel
+from repro.des.kernel import Kernel
+from repro.dps.backend import ExecutionBackend
+from repro.dps.data_objects import DataObject
+from repro.dps.deployment import Deployment
+from repro.dps.flowgraph import FlowGraph, VertexKind
+from repro.dps.operations import (
+    Compute,
+    KernelSpec,
+    LeafOperation,
+    MergeOperation,
+    Post,
+    SplitOperation,
+    StreamOperation,
+)
+from repro.dps.routing import Constant, RoundRobin
+from repro.dps.runtime import DurationProvider, Runtime
+from repro.errors import FlowGraphError
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+
+def work():
+    return Compute(KernelSpec("work", flops=1e5), None)
+
+
+class NSplit(SplitOperation):
+    def run(self, ctx, obj):
+        for i in range(obj.get("n")):
+            yield work()
+            yield Post(DataObject("task", meta={"i": i}, declared_size=100))
+
+
+class AddOne(LeafOperation):
+    """Increments meta['value'] — lets the test count traversed stages."""
+
+    def run(self, ctx, obj):
+        yield work()
+        meta = dict(obj.meta)
+        meta["value"] = meta.get("value", 0) + 1
+        yield Post(DataObject("task", meta=meta, declared_size=100))
+
+
+class Gather(MergeOperation):
+    results: list = []
+
+    def initial_state(self, ctx):
+        return []
+
+    def combine(self, ctx, state, obj):
+        state.append(obj.get("value", 0))
+        return None
+
+    def finalize(self, ctx, state):
+        Gather.results.append(sorted(state))
+        yield Post(DataObject("final", declared_size=8))
+
+
+class Sink(StreamOperation):
+    def instance_key(self, obj):
+        return "sink"
+
+    def combine(self, ctx, state, obj):
+        ctx.finish_instance()
+        return None
+
+
+@pytest.fixture(autouse=True)
+def clear_gather():
+    Gather.results = []
+    yield
+
+
+def base_graph():
+    g = FlowGraph("base")
+    g.add_split("split", NSplit, group="main")
+    g.add_leaf("stage", AddOne, group="workers")
+    g.add_merge("merge", Gather, group="main", closes="split")
+    g.add_keyed_stream("sink", Sink, group="main")
+    g.connect("split", "stage", RoundRobin())
+    g.connect("stage", "merge", Constant(0))
+    g.connect("merge", "sink", Constant(0))
+    return g
+
+
+def chain_subgraph(length: int) -> FlowGraph:
+    """A linear chain of ``length`` AddOne leaves."""
+    g = FlowGraph("chain")
+    for i in range(length):
+        g.add_leaf(f"hop{i}", AddOne, group="workers")
+    for i in range(length - 1):
+        g.connect(f"hop{i}", f"hop{i + 1}", RoundRobin())
+    return g
+
+
+def run_graph(graph, tasks=4):
+    kernel = Kernel()
+    backend = ExecutionBackend(
+        kernel,
+        SharedCpuModel(kernel),
+        EqualShareStarNetwork(kernel, NetworkParams(latency=1e-4, bandwidth=1e7)),
+    )
+
+    class FixedRate(DurationProvider):
+        def evaluate(self, compute, ctx):
+            return compute.spec.flops / 1e8, None
+
+    dep = Deployment(2)
+    dep.add_singleton("main", 0)
+    dep.add_group("workers", [0, 1])
+    rt = Runtime(graph, dep, backend, FixedRate())
+    rt.inject("split", DataObject("job", meta={"n": tasks}))
+    return rt.run()
+
+
+# --------------------------------------------------------------------------
+# structural properties
+# --------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_composition_preserves_validity(length):
+    g = base_graph()
+    g.replace_leaf("stage", chain_subgraph(length), "hop0", f"hop{length - 1}")
+    g.validate()
+    # The replaced leaf is gone; the subgraph's vertices are prefixed in.
+    assert "stage" not in g.vertices
+    for i in range(length):
+        assert f"stage.hop{i}" in g.vertices
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_composition_edge_accounting(length):
+    g = base_graph()
+    before_edges = len(g.edges)
+    g.replace_leaf("stage", chain_subgraph(length), "hop0", f"hop{length - 1}")
+    # Same boundary edges, plus the chain's internal edges.
+    assert len(g.edges) == before_edges + (length - 1)
+    assert any(e.dst == "stage.hop0" for e in g.edges)
+    assert any(e.src == f"stage.hop{length - 1}" and e.dst == "merge"
+               for e in g.edges)
+
+
+def test_composition_keeps_vertex_kinds():
+    sub = FlowGraph("sub")
+    sub.add_split("s", NSplit, group="workers")
+    sub.add_leaf("l", AddOne, group="workers")
+    sub.add_merge("m", Gather, group="workers", closes="s")
+    sub.connect("s", "l", RoundRobin())
+    sub.connect("l", "m", Constant(0))
+    g = base_graph()
+    g.replace_leaf("stage", sub, "s", "m")
+    g.validate()
+    assert g.vertices["stage.s"].kind is VertexKind.SPLIT
+    assert g.vertices["stage.m"].kind is VertexKind.MERGE
+    # The pairing was renamed along with the vertices.
+    assert g.vertices["stage.m"].closes == "stage.s"
+
+
+def test_composition_into_missing_entry_rejected():
+    g = base_graph()
+    with pytest.raises(FlowGraphError, match="entry/exit"):
+        g.replace_leaf("stage", chain_subgraph(2), "nope", "hop1")
+
+
+# --------------------------------------------------------------------------
+# behavioural equivalence
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("length", [1, 2, 4])
+def test_composed_graph_runs_and_counts_stages(length):
+    g = base_graph()
+    g.replace_leaf("stage", chain_subgraph(length), "hop0", f"hop{length - 1}")
+    run_graph(g, tasks=5)
+    # Every task traversed exactly `length` AddOne stages.
+    assert Gather.results == [[length] * 5]
+
+
+def test_identity_composition_equivalent_to_original():
+    """Replacing a leaf by a single-vertex chain is behaviourally a no-op."""
+    plain = run_graph(base_graph(), tasks=6)
+    plain_values = Gather.results.pop()
+    composed_graph = base_graph()
+    composed_graph.replace_leaf("stage", chain_subgraph(1), "hop0", "hop0")
+    composed = run_graph(composed_graph, tasks=6)
+    assert Gather.results.pop() == plain_values
+    # Same logical execution -> same step count; timing identical too
+    # (same vertices on the same threads).
+    assert composed.trace.step_count == plain.trace.step_count
+    assert composed.makespan == pytest.approx(plain.makespan)
+
+
+def test_nested_composition():
+    """Composition composes: replace a leaf inside an already-spliced chain."""
+    g = base_graph()
+    g.replace_leaf("stage", chain_subgraph(2), "hop0", "hop1")
+    g.replace_leaf("stage.hop1", chain_subgraph(3), "hop0", "hop2")
+    g.validate()
+    run_graph(g, tasks=3)
+    assert Gather.results == [[4] * 3]  # 1 (hop0) + 3 (nested chain)

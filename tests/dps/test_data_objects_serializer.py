@@ -1,0 +1,125 @@
+"""Data objects and the size-counting serializer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dps.data_objects import DataObject, Frame
+from repro.dps.serializer import (
+    CountingSerializer,
+    ELEMENT_TAG_BYTES,
+    HEADER_BYTES,
+    META_ENTRY_BYTES,
+    payload_nbytes,
+)
+from repro.errors import SerializationError
+
+
+def test_data_object_basics():
+    obj = DataObject("task", payload=[1, 2], meta={"i": 3}, declared_size=100)
+    assert obj.kind == "task"
+    assert obj.get("i") == 3
+    assert obj.get("missing", "d") == "d"
+    assert obj.top_frame is None
+
+
+def test_frames_attach():
+    obj = DataObject("t")
+    obj.with_frames((Frame(1, 0), Frame(2, 5)))
+    assert obj.top_frame == Frame(2, 5)
+
+
+def test_object_ids_unique():
+    a, b = DataObject("x"), DataObject("x")
+    assert a.object_id != b.object_id
+
+
+def test_empty_kind_rejected():
+    with pytest.raises(SerializationError):
+        DataObject("")
+
+
+def test_negative_declared_size_rejected():
+    with pytest.raises(SerializationError):
+        DataObject("x", declared_size=-1)
+
+
+def test_payload_nbytes_numpy_exact():
+    arr = np.zeros((13, 7), dtype=np.float64)
+    assert payload_nbytes(arr) == 13 * 7 * 8
+
+
+def test_payload_nbytes_scalars():
+    assert payload_nbytes(None) == 0.0
+    assert payload_nbytes(True) == 1.0
+    assert payload_nbytes(3) == 8.0
+    assert payload_nbytes(3.5) == 8.0
+    assert payload_nbytes(1 + 2j) == 16.0
+    assert payload_nbytes(b"abcd") == 4.0
+    assert payload_nbytes("héllo") == len("héllo".encode()) * 1.0
+
+
+def test_payload_nbytes_nested_containers():
+    value = {"a": [1, 2.0], "b": np.zeros(4)}
+    list_bytes = (8 + ELEMENT_TAG_BYTES) + (8 + ELEMENT_TAG_BYTES)
+    expected = (
+        (1 + list_bytes + ELEMENT_TAG_BYTES)  # key "a" + list + entry tag
+        + (1 + 32 + ELEMENT_TAG_BYTES)  # key "b" + array + entry tag
+    )
+    assert payload_nbytes(value) == pytest.approx(expected)
+
+
+def test_payload_nbytes_unsupported_type():
+    with pytest.raises(SerializationError):
+        payload_nbytes(object())
+
+
+def test_serializer_declared_size_wins():
+    s = CountingSerializer()
+    obj = DataObject("x", payload=np.zeros(1000), declared_size=64)
+    info = s.size_info(obj)
+    assert info.payload == 64
+    assert info.header == HEADER_BYTES
+
+
+def test_serializer_meta_counted():
+    s = CountingSerializer()
+    obj = DataObject("x", meta={"col": 1, "row": 2}, declared_size=0)
+    info = s.size_info(obj)
+    assert info.meta == 2 * META_ENTRY_BYTES + len("col") + len("row")
+    assert s.size(obj) == info.total
+
+
+arrays = st.integers(min_value=0, max_value=64).map(
+    lambda n: np.zeros(n, dtype=np.float64)
+)
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=16),
+        st.binary(max_size=32),
+        arrays,
+    ),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(payloads)
+def test_sizing_never_copies_and_is_non_negative(payload):
+    size = payload_nbytes(payload)
+    assert size >= 0.0
+    # Sizing twice gives the same answer (pure function).
+    assert payload_nbytes(payload) == size
+
+
+@given(payloads)
+def test_serializer_total_is_header_plus_parts(payload):
+    s = CountingSerializer()
+    obj = DataObject("k", payload=payload, meta={"m": 1})
+    info = s.size_info(obj)
+    assert info.total == info.header + info.meta + info.payload
+    assert info.payload == payload_nbytes(payload)

@@ -1,0 +1,98 @@
+"""Dynamic allocation at the runtime level: planners and removal."""
+
+import pytest
+
+from repro.dps.deployment import ThreadId
+from repro.dps.malleability import (
+    AllocationEvent,
+    AllocationSchedule,
+    Migration,
+    modulo_owner_planner,
+    round_robin_planner,
+)
+from repro.errors import MalleabilityError
+
+
+def tid(i):
+    return ThreadId("workers", i)
+
+
+def test_allocation_schedule_lookup():
+    sched = AllocationSchedule(
+        events=(
+            AllocationEvent("iter1", "workers", (4, 5)),
+            AllocationEvent("iter3", "workers", (2, 3)),
+        ),
+        name="staged",
+    )
+    assert len(sched.removals_after("iter1")) == 1
+    assert sched.removals_after("iter2") == []
+    assert sched.total_removed == 4
+
+
+def test_allocation_event_needs_indices():
+    with pytest.raises(MalleabilityError):
+        AllocationEvent("iter1", "workers", ())
+
+
+def test_migration_negative_size_rejected():
+    with pytest.raises(MalleabilityError):
+        Migration(key="k", src=tid(0), dst=tid(1), size=-1.0)
+
+
+def test_round_robin_planner_moves_only_removed_state():
+    states = {
+        tid(0): {"a": object()},
+        tid(1): {"b": object(), "c": object()},
+    }
+    survivors = [tid(0)]
+    plan = round_robin_planner()("workers", states, survivors)
+    moved_keys = {m.key for m in plan}
+    assert moved_keys == {"b", "c"}
+    assert all(m.dst == tid(0) for m in plan)
+
+
+def test_round_robin_planner_requires_survivors():
+    with pytest.raises(MalleabilityError):
+        round_robin_planner()("workers", {tid(0): {"x": 1}}, [])
+
+
+def test_modulo_owner_planner_relocates_between_survivors():
+    """Shrinking 4 -> 2 moves block 2 from surviving thread 0? No —
+    block j lives at j % P; after shrink block 2 belongs to survivors[0].
+    Blocks whose owner changes move even off surviving threads."""
+    states = {
+        tid(0): {("block", 0): "b0"},
+        tid(1): {("block", 1): "b1", ("block", 3): "b3-wrong-home"},
+        tid(2): {("block", 2): "b2"},
+        tid(3): {},
+    }
+    survivors = [tid(0), tid(1)]
+
+    def key_index(key):
+        return key[1] if key[0] == "block" else None
+
+    plan = modulo_owner_planner(key_index, lambda k, v: 100.0)(
+        "workers", states, survivors
+    )
+    moves = {m.key: (m.src, m.dst) for m in plan}
+    # block 2 must move from removed thread 2 to survivors[2 % 2] = thread 0
+    assert moves[("block", 2)] == (tid(2), tid(0))
+    # blocks 0 and 1 already live at their new owner: no migration
+    assert ("block", 0) not in moves
+    assert ("block", 1) not in moves
+    # block 3 -> survivors[3 % 2] = thread 1 — already there, no move
+    assert ("block", 3) not in moves
+
+
+def test_modulo_owner_planner_handles_unindexed_keys():
+    states = {
+        tid(0): {"scratch": "s"},
+        tid(1): {"temp": "t"},
+    }
+    survivors = [tid(0)]
+    plan = modulo_owner_planner(lambda k: None, lambda k, v: 0.0)(
+        "workers", states, survivors
+    )
+    # Unindexed state on the removed thread moves; survivor state stays.
+    assert {m.key for m in plan} == {"temp"}

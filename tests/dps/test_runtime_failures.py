@@ -1,0 +1,399 @@
+"""Failure injection: the runtime must reject broken applications loudly.
+
+Each test builds a deliberately faulty flow graph or operation and checks
+the runtime raises the specific, diagnosable error — silent mis-simulation
+would undermine every prediction downstream.
+"""
+
+import pytest
+
+from repro.cpumodel.shared import SharedCpuModel
+from repro.des.kernel import Kernel
+from repro.dps.backend import ExecutionBackend
+from repro.dps.data_objects import DataObject
+from repro.dps.deployment import Deployment
+from repro.dps.flowgraph import FlowGraph
+from repro.dps.operations import (
+    Compute,
+    KernelSpec,
+    LeafOperation,
+    MergeOperation,
+    Post,
+    RemoveThreads,
+    SplitOperation,
+    StreamOperation,
+)
+from repro.dps.routing import Constant, Modulo, RoundRobin, RoutingFunction
+from repro.dps.runtime import DurationProvider, Runtime
+from repro.errors import (
+    FlowGraphError,
+    MalleabilityError,
+    RoutingError,
+    SimulationError,
+)
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+
+class FixedRate(DurationProvider):
+    def evaluate(self, compute, ctx):
+        result = compute.fn(*compute.args) if compute.fn else None
+        return compute.spec.flops / 1e8, result
+
+
+def make_runtime(graph, deployment, **kwargs):
+    kernel = Kernel()
+    backend = ExecutionBackend(
+        kernel,
+        SharedCpuModel(kernel),
+        EqualShareStarNetwork(
+            kernel, NetworkParams(latency=1e-4, bandwidth=1e7)
+        ),
+    )
+    return Runtime(graph, deployment, backend, FixedRate(), **kwargs)
+
+
+def work():
+    return Compute(KernelSpec("work", flops=1e5), None)
+
+
+def two_node_deployment(workers=2):
+    dep = Deployment(2)
+    dep.add_singleton("main", 0)
+    dep.add_group("workers", [i % 2 for i in range(workers)])
+    return dep
+
+
+class TwoTasks(SplitOperation):
+    def run(self, ctx, obj):
+        for i in range(2):
+            yield work()
+            yield Post(DataObject("task", meta={"i": i}, declared_size=100))
+
+
+class Swallow(StreamOperation):
+    """Keyed sink that completes immediately."""
+
+    def instance_key(self, obj):
+        return "all"
+
+    def combine(self, ctx, state, obj):
+        ctx.finish_instance()
+        return None
+
+
+# --------------------------------------------------------------------------
+# lifecycle misuse
+# --------------------------------------------------------------------------
+
+
+def simple_graph(leaf_factory):
+    g = FlowGraph("faulty")
+    g.add_split("split", TwoTasks, group="main")
+    g.add_leaf("leaf", leaf_factory, group="workers")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("split", "leaf", RoundRobin())
+    g.connect("leaf", "sink", Constant(0))
+    return g
+
+
+class Forward(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield Post(DataObject("out", meta=dict(obj.meta), declared_size=10))
+
+
+def test_inject_after_run_rejected():
+    rt = make_runtime(simple_graph(Forward), two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    rt.run()
+    with pytest.raises(SimulationError, match="inject"):
+        rt.inject("split", DataObject("job2", meta={}))
+
+
+def test_run_twice_rejected():
+    rt = make_runtime(simple_graph(Forward), two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    rt.run()
+    with pytest.raises(SimulationError, match="already ran"):
+        rt.run()
+
+
+def test_inject_unknown_vertex_rejected():
+    rt = make_runtime(simple_graph(Forward), two_node_deployment())
+    with pytest.raises(FlowGraphError, match="unknown vertex"):
+        rt.inject("nope", DataObject("job", meta={}))
+
+
+# --------------------------------------------------------------------------
+# bad operation bodies
+# --------------------------------------------------------------------------
+
+
+class YieldsGarbage(LeafOperation):
+    def run(self, ctx, obj):
+        yield "not a runtime item"
+
+
+def test_unsupported_yield_item_rejected():
+    rt = make_runtime(simple_graph(YieldsGarbage), two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(SimulationError, match="unsupported item"):
+        rt.run()
+
+
+class PostsToUnknownEdge(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield Post(DataObject("out", declared_size=1.0), to="nowhere")
+
+
+def test_post_to_unknown_edge_rejected():
+    rt = make_runtime(simple_graph(PostsToUnknownEdge), two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(FlowGraphError, match="no edge"):
+        rt.run()
+
+
+class AmbiguousPost(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield Post(DataObject("out", meta=dict(obj.meta), declared_size=1.0))
+
+
+def test_ambiguous_default_post_rejected():
+    g = FlowGraph("fanout")
+    g.add_split("split", TwoTasks, group="main")
+    g.add_leaf("leaf", AmbiguousPost, group="workers")
+    g.add_keyed_stream("sink_a", Swallow, group="main")
+    g.add_keyed_stream("sink_b", Swallow, group="main")
+    g.connect("split", "leaf", RoundRobin())
+    g.connect("leaf", "sink_a", Constant(0))
+    g.connect("leaf", "sink_b", Constant(0))
+    rt = make_runtime(g, two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(FlowGraphError, match="outgoing edges"):
+        rt.run()
+
+
+def test_finish_instance_outside_stream_rejected():
+    class FinishesWrongly(LeafOperation):
+        def run(self, ctx, obj):
+            yield work()
+            ctx.finish_instance()
+
+    rt = make_runtime(simple_graph(FinishesWrongly), two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(FlowGraphError, match="finish_instance"):
+        rt.run()
+
+
+# --------------------------------------------------------------------------
+# routing faults
+# --------------------------------------------------------------------------
+
+
+class OutOfRange(RoutingFunction):
+    def route(self, obj, group_size):
+        return group_size  # one past the end
+
+
+def test_out_of_range_routing_detected():
+    g = FlowGraph("badroute")
+    g.add_split("split", TwoTasks, group="main")
+    g.add_leaf("leaf", Forward, group="workers")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("split", "leaf", OutOfRange())
+    g.connect("leaf", "sink", Constant(0))
+    rt = make_runtime(g, two_node_deployment())
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(RoutingError, match="outside"):
+        rt.run()
+
+
+class SplitByParity(SplitOperation):
+    """Routes instance-mates to different threads — illegal for merges."""
+
+    def run(self, ctx, obj):
+        for i in range(2):
+            yield work()
+            yield Post(DataObject("task", meta={"i": i}, declared_size=10))
+
+
+class CollectAll(MergeOperation):
+    def initial_state(self, ctx):
+        return []
+
+    def combine(self, ctx, state, obj):
+        state.append(obj.get("i"))
+        return None
+
+    def finalize(self, ctx, state):
+        yield Post(DataObject("final", declared_size=1.0))
+
+
+def test_instance_split_across_threads_rejected():
+    """All objects of one merge instance must reach the same thread."""
+    g = FlowGraph("inconsistent")
+    g.add_split("split", SplitByParity, group="main")
+    g.add_leaf("leaf", Forward, group="workers")
+    # Routing the merge by i sends instance-mates to different threads.
+    g.add_merge("merge", CollectAll, group="collectors", closes="split")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("split", "leaf", RoundRobin())
+    g.connect("leaf", "merge", Modulo("i"))
+    g.connect("merge", "sink", Constant(0))
+    dep = Deployment(2)
+    dep.add_singleton("main", 0)
+    dep.add_group("workers", [0, 1])
+    dep.add_group("collectors", [0, 1])
+    rt = make_runtime(g, dep)
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(FlowGraphError, match="two\\s+different threads"):
+        rt.run()
+
+
+# --------------------------------------------------------------------------
+# malleability faults
+# --------------------------------------------------------------------------
+
+
+def removal_graph(remover_factory):
+    g = FlowGraph("removal")
+    g.add_leaf("control", remover_factory, group="main")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("control", "sink", Constant(0))
+    return g
+
+
+def removal_deployment(workers=4):
+    dep = Deployment(4)
+    dep.add_singleton("main", 0)
+    dep.add_group("workers", [i % 4 for i in range(workers)])
+    return dep
+
+
+def run_removal(remover_factory, workers=4):
+    g = removal_graph(remover_factory)
+    rt = make_runtime(g, removal_deployment(workers))
+    rt.inject("control", DataObject("go", meta={}))
+    rt.run()
+    return rt
+
+
+class RemovesUnknown(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield RemoveThreads("workers", (9,))
+
+
+def test_remove_unknown_thread_rejected():
+    with pytest.raises(MalleabilityError, match="not a live thread"):
+        run_removal(RemovesUnknown)
+
+
+class RemovesSelf(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield RemoveThreads("main", (0,))
+
+
+def test_remove_own_thread_rejected():
+    with pytest.raises(MalleabilityError, match="own thread"):
+        run_removal(RemovesSelf)
+
+
+class RemovesEveryWorkerTwice(LeafOperation):
+    def run(self, ctx, obj):
+        yield work()
+        yield RemoveThreads("workers", (0, 1, 2, 3))
+        yield work()
+        yield RemoveThreads("workers", (0,))
+
+
+def test_remove_from_emptied_group_rejected():
+    with pytest.raises(MalleabilityError, match="no surviving threads"):
+        run_removal(RemovesEveryWorkerTwice)
+
+
+def test_double_removal_of_same_thread_rejected():
+    class RemovesTwice(LeafOperation):
+        def run(self, ctx, obj):
+            yield work()
+            yield RemoveThreads("workers", (1,))
+            yield work()
+            yield RemoveThreads("workers", (1,))
+
+    with pytest.raises(MalleabilityError, match="not a live thread"):
+        run_removal(RemovesTwice)
+
+
+def test_bad_migration_plan_detected():
+    """A planner that strands state on a removed thread is an app bug."""
+
+    class SeedsStateThenRemoves(LeafOperation):
+        def run(self, ctx, obj):
+            yield work()
+            yield RemoveThreads("workers", (1,))
+
+    class SeedState(LeafOperation):
+        def run(self, ctx, obj):
+            ctx.thread_state["payload"] = 42
+            yield work()
+            yield Post(DataObject("seeded", declared_size=1.0))
+
+    g = FlowGraph("strand")
+    g.add_leaf("seed", SeedState, group="workers")
+    g.add_keyed_stream("gate", _GateThenRemove, group="main")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("seed", "gate", Constant(0))
+    g.connect("gate", "sink", Constant(0))
+    dep = removal_deployment(2)
+    kernel_rt = make_runtime(
+        g, dep, migration_planner=lambda group, states, survivors: []
+    )
+    kernel_rt.inject("seed", DataObject("go", meta={}), thread_index=1)
+    with pytest.raises(MalleabilityError, match="leaves state"):
+        kernel_rt.run()
+
+
+class _GateThenRemove(StreamOperation):
+    def instance_key(self, obj):
+        return "gate"
+
+    def combine(self, ctx, state, obj):
+        yield work()
+        yield RemoveThreads("workers", (1,))
+        ctx.finish_instance()
+        yield Post(DataObject("done", declared_size=1.0))
+
+
+def test_remove_busy_thread_rejected():
+    """Removal must happen at a quiescent point; a worker mid-operation
+    (queued work) cannot be removed."""
+
+    class SlowEcho(LeafOperation):
+        def run(self, ctx, obj):
+            yield Compute(KernelSpec("slow", flops=1e9), None)
+            yield Post(DataObject("late", declared_size=1.0))
+
+    class RemoveImmediately(SplitOperation):
+        def run(self, ctx, obj):
+            # Send work to worker 1, then remove it while the task is in
+            # flight or executing.
+            yield Post(DataObject("task", meta={"i": 1}, declared_size=10))
+            yield Compute(KernelSpec("pause", flops=5e8), None)
+            yield RemoveThreads("workers", (1,))
+
+    g = FlowGraph("busy")
+    g.add_split("split", RemoveImmediately, group="main")
+    g.add_leaf("slow", SlowEcho, group="workers")
+    g.add_merge("merge", CollectAll, group="main", closes="split")
+    g.add_keyed_stream("sink", Swallow, group="main")
+    g.connect("split", "slow", Modulo("i"))
+    g.connect("slow", "merge", Constant(0))
+    g.connect("merge", "sink", Constant(0))
+    rt = make_runtime(g, removal_deployment(4))
+    rt.inject("split", DataObject("job", meta={}))
+    with pytest.raises(MalleabilityError, match="queued\\s+or running"):
+        rt.run()

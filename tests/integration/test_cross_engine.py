@@ -1,0 +1,151 @@
+"""Cross-engine invariants: simulator and testbed run the *same* runtime.
+
+The paper's central design point — "the real and simulated applications
+may be run identically" — implies the two engines must produce identical
+*logical* executions (same operations, same data objects, same transfer
+sizes) and differ only in timing.  These tests pin that property for every
+application in the repository.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.lu.app import LUApplication
+from repro.apps.lu.config import LUConfig
+from repro.apps.lu.costs import LUCostModel
+from repro.apps.matmul import MatmulApplication, MatmulConfig
+from repro.apps.sort import SampleSortApplication, SampleSortConfig, SampleSortCostModel
+from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
+from repro.dps.trace import TraceLevel
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider, MachineCostModel
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+
+def simulate(app_factory, cost_model):
+    sim = DPSSimulator(
+        PAPER_CLUSTER,
+        CostModelProvider(cost_model, run_kernels=True),
+        trace_level=TraceLevel.FULL,
+    )
+    return sim.run(app_factory()).run
+
+
+def measure(app_factory, num_nodes, seed=3):
+    executor = TestbedExecutor(
+        VirtualCluster(num_nodes=num_nodes, seed=seed),
+        trace_level=TraceLevel.FULL,
+    )
+    return executor.run(app_factory()).run
+
+
+CASES = {
+    "lu-basic": (
+        lambda: LUApplication(LUConfig(n=648, r=162, num_threads=4,
+                                       num_nodes=2, mode=SimulationMode.PDEXEC)),
+        lambda: LUCostModel(PAPER_CLUSTER.machine, 162),
+        2,
+    ),
+    "lu-pipelined-fc": (
+        lambda: LUApplication(LUConfig(n=648, r=162, num_threads=4, num_nodes=2,
+                                       pipelined=True, flow_control=4,
+                                       mode=SimulationMode.PDEXEC)),
+        lambda: LUCostModel(PAPER_CLUSTER.machine, 162),
+        2,
+    ),
+    "stencil-pipelined": (
+        lambda: StencilApplication(StencilConfig(n=48, stripes=4, iterations=3,
+                                                 num_threads=4, num_nodes=2)),
+        lambda: StencilCostModel(PAPER_CLUSTER.machine, 12, 48),
+        2,
+    ),
+    "stencil-barrier": (
+        lambda: StencilApplication(StencilConfig(n=48, stripes=4, iterations=3,
+                                                 num_threads=4, num_nodes=2,
+                                                 barrier=True)),
+        lambda: StencilCostModel(PAPER_CLUSTER.machine, 12, 48),
+        2,
+    ),
+    "samplesort": (
+        lambda: SampleSortApplication(SampleSortConfig(m=3000, num_threads=4,
+                                                       num_nodes=2)),
+        lambda: SampleSortCostModel(PAPER_CLUSTER.machine, 750, 4),
+        2,
+    ),
+    "matmul": (
+        lambda: MatmulApplication(MatmulConfig(n=96, s=24, num_threads=4,
+                                               num_nodes=2)),
+        lambda: MachineCostModel(PAPER_CLUSTER.machine),
+        2,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_same_logical_execution_on_both_engines(name):
+    app_factory, model_factory, nodes = CASES[name]
+    sim_run = simulate(app_factory, model_factory())
+    tb_run = measure(app_factory, nodes)
+
+    # Same atomic steps (multiset of (vertex, kernel) pairs).
+    sim_steps = Counter((s.vertex, s.kernel) for s in sim_run.trace.steps)
+    tb_steps = Counter((s.vertex, s.kernel) for s in tb_run.trace.steps)
+    assert sim_steps == tb_steps
+
+    # Same transfers (multiset of (kind, src, dst, size)).
+    sim_tr = Counter(
+        (t.kind, t.src_node, t.dst_node, round(t.size, 6))
+        for t in sim_run.trace.transfers
+    )
+    tb_tr = Counter(
+        (t.kind, t.src_node, t.dst_node, round(t.size, 6))
+        for t in tb_run.trace.transfers
+    )
+    assert sim_tr == tb_tr
+
+    # Same phase labels in the same order.
+    assert [p[1] for p in sim_run.phases] == [p[1] for p in tb_run.phases]
+
+    # Same local-delivery count.
+    assert sim_run.trace.local_deliveries == tb_run.trace.local_deliveries
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_simulator_is_deterministic(name):
+    app_factory, model_factory, _ = CASES[name]
+    model = model_factory()
+    first = simulate(app_factory, model)
+    second = simulate(app_factory, model)
+    assert first.makespan == second.makespan
+    assert first.events_executed == second.events_executed
+
+
+def test_testbed_seed_controls_noise():
+    app_factory, _, nodes = CASES["lu-basic"]
+    same_a = measure(app_factory, nodes, seed=5).makespan
+    same_b = measure(app_factory, nodes, seed=5).makespan
+    other = measure(app_factory, nodes, seed=6).makespan
+    assert same_a == same_b
+    assert other != same_a
+
+
+def test_removal_identical_allocation_timelines():
+    """Dynamic allocation decisions are behavioural, not timing: both
+    engines must shrink to the same node sets in the same order."""
+    from repro.dps.malleability import AllocationEvent, AllocationSchedule
+
+    sched = AllocationSchedule(
+        events=(AllocationEvent("iter2", "workers", (2, 3)),), name="kill"
+    )
+    cfg = StencilConfig(n=48, stripes=8, iterations=4, num_threads=4,
+                        num_nodes=4, barrier=True, schedule=sched)
+    model = StencilCostModel(PAPER_CLUSTER.machine, cfg.rows, cfg.n)
+    sim_run = simulate(lambda: StencilApplication(cfg), model)
+    tb_run = measure(lambda: StencilApplication(cfg), 4)
+    sim_allocs = [nodes for _, nodes in sim_run.allocation_timeline]
+    tb_allocs = [nodes for _, nodes in tb_run.allocation_timeline]
+    assert sim_allocs == tb_allocs

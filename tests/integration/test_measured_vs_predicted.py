@@ -1,0 +1,103 @@
+"""Integration: the full measured-vs-predicted loop at reduced scale.
+
+These tests run the complete paper workflow — calibrate the network on the
+testbed, benchmark the kernels, simulate, measure, compare — on matrices
+small enough for the test suite, asserting the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.analysis.prediction import PredictionStudy
+from repro.analysis.sweep import SweepCase, calibrated_platform, run_lu_case, sweep
+from repro.apps.lu.config import LUConfig
+from repro.dps.malleability import AllocationEvent, AllocationSchedule
+from repro.dps.trace import TraceLevel
+from repro.sim.efficiency import dynamic_efficiency, mean_efficiency
+from repro.sim.modes import SimulationMode
+from repro.testbed.cluster import VirtualCluster
+
+N = 1296  # half the paper's matrix: fast, same physics
+R = 162
+
+
+def cfg(r=R, nodes=4, threads=None, **kw):
+    return LUConfig(
+        n=N,
+        r=r,
+        num_threads=threads or nodes,
+        num_nodes=nodes,
+        mode=SimulationMode.PDEXEC_NOALLOC,
+        **kw,
+    )
+
+
+def test_prediction_accuracy_across_variants():
+    cases = [
+        SweepCase("basic", cfg()),
+        SweepCase("P", cfg(pipelined=True)),
+        SweepCase("P+FC", cfg(pipelined=True, flow_control=8)),
+        SweepCase("r-coarse", cfg(r=324)),
+        SweepCase("r-fine", cfg(r=108)),
+    ]
+    study = PredictionStudy()
+    platform = calibrated_platform(VirtualCluster(num_nodes=4, seed=1))
+    sweep(cases, platform=platform, study=study)
+    # Every prediction within the paper's overall +-12% envelope.
+    assert study.fraction_within(0.12) == 1.0
+    assert study.mean_abs_error() < 0.06
+
+
+def test_pipelining_improves_at_scale():
+    basic = run_lu_case(SweepCase("basic", cfg(nodes=8, threads=8)))
+    piped = run_lu_case(SweepCase("P", cfg(nodes=8, threads=8, pipelined=True)))
+    assert piped.measured < basic.measured
+    assert piped.predicted < basic.predicted
+
+
+def test_dynamic_removal_measured_and_predicted_agree():
+    sched = AllocationSchedule(
+        events=(AllocationEvent("iter1", "workers", (4, 5, 6, 7)),), name="kill4@1"
+    )
+    res = run_lu_case(
+        SweepCase("kill4@1", cfg(r=162, nodes=8, threads=8, schedule=sched)),
+        keep_runs=True,
+    )
+    assert abs(res.error) < 0.12
+    # Both engines record the node deallocation at the same iteration.
+    for run in (res.measured_run, res.predicted_run):
+        assert len(run.allocation_timeline) == 2
+        assert len(run.allocation_timeline[-1][1]) == 4
+
+
+def test_dynamic_efficiency_decays_and_prediction_tracks_it():
+    res = run_lu_case(
+        SweepCase("basic", cfg(nodes=8, threads=8)),
+        trace_level=TraceLevel.SUMMARY,
+        keep_runs=True,
+    )
+    measured = dynamic_efficiency(res.measured_run)
+    predicted = dynamic_efficiency(res.predicted_run)
+    assert len(measured) == N // R
+    # Efficiency decreases from the first to the last iterations.
+    assert measured[0].efficiency > measured[-2].efficiency
+    assert predicted[0].efficiency > predicted[-2].efficiency
+    # Predicted per-iteration efficiency tracks the measured one early on.
+    for m, p in list(zip(measured, predicted))[:4]:
+        assert p.efficiency == pytest.approx(m.efficiency, rel=0.25)
+
+
+def test_fewer_nodes_higher_efficiency_lower_speed():
+    small = run_lu_case(SweepCase("4n", cfg(nodes=4)), keep_runs=True)
+    large = run_lu_case(SweepCase("8n", cfg(nodes=8, threads=8)), keep_runs=True)
+    assert large.measured < small.measured  # more nodes: faster...
+    assert mean_efficiency(large.measured_run) < mean_efficiency(
+        small.measured_run
+    )  # ...but less efficient
+
+
+def test_measurement_noise_across_seeds_is_small():
+    times = [
+        run_lu_case(SweepCase("s", cfg(), seed=seed)).measured for seed in (1, 2, 3)
+    ]
+    spread = (max(times) - min(times)) / min(times)
+    assert 0 < spread < 0.05  # noisy, but run-to-run variation is percent-level

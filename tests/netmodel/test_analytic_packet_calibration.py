@@ -1,0 +1,90 @@
+"""Analytic baseline, packet ground truth, and (l, b) calibration."""
+
+import pytest
+
+from repro.des.kernel import Kernel
+from repro.netmodel.analytic import AnalyticNetwork
+from repro.netmodel.calibration import calibrate
+from repro.netmodel.packet import PacketNetwork, PacketNetworkParams
+from repro.netmodel.params import NetworkParams
+
+
+PARAMS = NetworkParams(latency=5e-5, bandwidth=1.25e7, per_object_overhead=0.0)
+
+
+def test_analytic_ignores_contention(kernel):
+    net = AnalyticNetwork(kernel, PARAMS)
+    done = {}
+    for i in range(4):
+        net.submit(0, 1, 1.25e7, lambda tr, i=i: done.setdefault(i, kernel.now))
+    kernel.run()
+    # All four complete at l + s/b despite sharing the same link.
+    for i in range(4):
+        assert done[i] == pytest.approx(1.0 + 5e-5)
+
+
+def test_packet_network_is_reproducible():
+    times = []
+    for _ in range(2):
+        kernel = Kernel()
+        net = PacketNetwork(kernel, PARAMS, seed=42)
+        net.submit(0, 1, 1e6, lambda tr: times.append(kernel.now))
+        kernel.run()
+    assert times[0] == times[1]
+
+
+def test_packet_seed_changes_outcome():
+    times = []
+    for seed in (1, 2):
+        kernel = Kernel()
+        net = PacketNetwork(kernel, PARAMS, seed=seed)
+        net.submit(0, 1, 1e6, lambda tr: times.append(kernel.now))
+        kernel.run()
+    assert times[0] != times[1]
+
+
+def test_packet_slower_than_ideal():
+    """Chunking + ramp-up must make the ground truth slower than l+s/b."""
+    kernel = Kernel()
+    net = PacketNetwork(kernel, PARAMS, seed=0)
+    done = []
+    net.submit(0, 1, 4 * 1024 * 1024, lambda tr: done.append(kernel.now))
+    kernel.run()
+    assert done[0] > PARAMS.uncontended_time(4 * 1024 * 1024)
+
+
+def test_packet_params_validation():
+    with pytest.raises(Exception):
+        PacketNetworkParams(mtu=0)
+    with pytest.raises(Exception):
+        PacketNetworkParams(ramp_factor=0.0)
+
+
+def test_calibration_recovers_analytic_params():
+    res = calibrate(lambda k: AnalyticNetwork(k, PARAMS))
+    assert res.latency == pytest.approx(PARAMS.latency, rel=1e-6, abs=1e-9)
+    assert res.bandwidth == pytest.approx(PARAMS.bandwidth, rel=1e-6)
+    assert res.residual_rms < 1e-9
+
+
+def test_calibration_of_packet_network_is_close():
+    res = calibrate(
+        lambda k: PacketNetwork(k, PARAMS, seed=5), repetitions=5
+    )
+    # Effective bandwidth a bit below line rate (per-chunk overhead) and
+    # latency inflated by ramp-up absorbed into the intercept.
+    assert 0.9 * PARAMS.bandwidth < res.bandwidth < PARAMS.bandwidth
+    assert res.latency > PARAMS.latency
+
+
+def test_calibration_as_params_roundtrip():
+    res = calibrate(lambda k: AnalyticNetwork(k, PARAMS))
+    p = res.as_params()
+    assert p.uncontended_time(1e6) == pytest.approx(
+        PARAMS.uncontended_time(1e6), rel=1e-6
+    )
+
+
+def test_calibration_requires_two_sizes():
+    with pytest.raises(ValueError):
+        calibrate(lambda k: AnalyticNetwork(k, PARAMS), sizes=(1024,))

@@ -1,0 +1,38 @@
+"""Network parameter validation and the t = l + s/b formula."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netmodel.params import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkParams
+
+
+def test_uncontended_time_formula():
+    p = NetworkParams(latency=1e-4, bandwidth=1e7, per_object_overhead=0.0)
+    assert p.uncontended_time(0) == pytest.approx(1e-4)
+    assert p.uncontended_time(1e7) == pytest.approx(1.0 + 1e-4)
+
+
+def test_per_object_overhead_adds_to_latency():
+    p = NetworkParams(latency=1e-4, bandwidth=1e7, per_object_overhead=5e-5)
+    assert p.effective_latency == pytest.approx(1.5e-4)
+    assert p.uncontended_time(0) == pytest.approx(1.5e-4)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ConfigurationError):
+        NetworkParams(latency=-1.0)
+    with pytest.raises(ConfigurationError):
+        NetworkParams(bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        NetworkParams(per_object_overhead=-1e-9)
+
+
+def test_negative_size_rejected():
+    p = NetworkParams()
+    with pytest.raises(ConfigurationError):
+        p.uncontended_time(-1.0)
+
+
+def test_presets_are_ordered():
+    assert GIGABIT_ETHERNET.bandwidth > FAST_ETHERNET.bandwidth
+    assert GIGABIT_ETHERNET.latency < FAST_ETHERNET.latency

@@ -1,0 +1,43 @@
+"""Platform specs and simulation modes."""
+
+import pytest
+
+from repro.cpumodel.machines import PENTIUM4_2800, ULTRASPARC_II_440
+from repro.errors import ConfigurationError
+from repro.netmodel.params import GIGABIT_ETHERNET
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER, PlatformSpec
+
+
+def test_paper_cluster_defaults():
+    assert PAPER_CLUSTER.machine is ULTRASPARC_II_440
+    assert PAPER_CLUSTER.local_delivery_delay > 0
+
+
+def test_with_network_and_machine_copies():
+    p = PAPER_CLUSTER.with_network(GIGABIT_ETHERNET)
+    assert p.network is GIGABIT_ETHERNET
+    assert p.machine is PAPER_CLUSTER.machine
+    q = PAPER_CLUSTER.with_machine(PENTIUM4_2800)
+    assert q.machine is PENTIUM4_2800
+    assert q.network is PAPER_CLUSTER.network
+    # originals untouched (frozen dataclass)
+    assert PAPER_CLUSTER.machine is ULTRASPARC_II_440
+
+
+def test_invalid_local_delay_rejected():
+    with pytest.raises(ConfigurationError):
+        PlatformSpec(local_delivery_delay=-1e-9)
+
+
+@pytest.mark.parametrize(
+    "mode,allocates,runs",
+    [
+        (SimulationMode.DIRECT, True, True),
+        (SimulationMode.PDEXEC, True, True),
+        (SimulationMode.PDEXEC_NOALLOC, False, False),
+    ],
+)
+def test_mode_flags(mode, allocates, runs):
+    assert mode.allocates is allocates
+    assert mode.runs_kernels is runs

@@ -1,0 +1,124 @@
+"""Packet network and virtual-cluster fidelity knobs (testbed substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.kernel import Kernel
+from repro.errors import ConfigurationError
+from repro.netmodel.packet import PacketNetwork, PacketNetworkParams
+from repro.netmodel.params import NetworkParams
+from repro.testbed.cluster import VirtualCluster
+
+B = 1e7
+
+
+def quiet_params(**overrides):
+    """Packet params with all stochastic knobs disabled."""
+    defaults = dict(
+        mtu=1460,
+        per_chunk_cost=0.0,
+        ramp_bytes=0,
+        ramp_factor=1.0,
+        latency_jitter=0.0,
+        rate_jitter=0.0,
+    )
+    defaults.update(overrides)
+    return PacketNetworkParams(**defaults)
+
+
+def timed_transfer(size, pp, latency=1e-4, seed=0):
+    kernel = Kernel()
+    net = PacketNetwork(
+        kernel, NetworkParams(latency=latency, bandwidth=B), pp, seed=seed
+    )
+    done = []
+    net.submit(0, 1, size, lambda tr: done.append(kernel.now))
+    kernel.run()
+    return done[0]
+
+
+class TestPacketParams:
+    def test_defaults_valid(self):
+        PacketNetworkParams()
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketNetworkParams(mtu=0)
+        with pytest.raises(ConfigurationError):
+            PacketNetworkParams(ramp_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            PacketNetworkParams(ramp_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            PacketNetworkParams(per_chunk_cost=-1.0)
+
+
+class TestPacketEffects:
+    def test_quiet_network_is_ideal(self):
+        """With every knob off, the packet model is exactly l + s/b."""
+        t = timed_transfer(1e6, quiet_params(), latency=1e-3)
+        assert t == pytest.approx(1e-3 + 1e6 / B)
+
+    def test_per_chunk_cost_superlinear(self):
+        """Chunk processing makes many small messages cost more than one
+        large one of the same total size."""
+        pp = quiet_params(per_chunk_cost=50.0)
+        one_big = timed_transfer(1e6, pp, latency=0.0)
+        many = 100 * (timed_transfer(1e4, pp, latency=0.0))
+        assert many > one_big
+
+    def test_ramp_up_slows_short_transfers_relatively(self):
+        pp_ramp = quiet_params(ramp_bytes=16 * 1024, ramp_factor=0.5)
+        pp_none = quiet_params()
+        short_penalty = timed_transfer(16e3, pp_ramp) / timed_transfer(16e3, pp_none)
+        long_penalty = timed_transfer(4e6, pp_ramp) / timed_transfer(4e6, pp_none)
+        assert short_penalty > long_penalty
+        assert short_penalty == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_size_transfer_completes(self):
+        t = timed_transfer(0.0, quiet_params(), latency=1e-3)
+        assert t == pytest.approx(1e-3)
+
+    def test_jitter_reproducible_per_seed(self):
+        pp = PacketNetworkParams()
+        a = timed_transfer(1e6, pp, seed=4)
+        b = timed_transfer(1e6, pp, seed=4)
+        c = timed_transfer(1e6, pp, seed=5)
+        assert a == b
+        assert a != c
+
+    @given(st.integers(min_value=1, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_never_beats_lower_bound(self, seed):
+        """Whatever the seed, the testbed can't beat the physics:
+        rate jitter is capped at 1.0 and latency at 0.2x nominal."""
+        t = timed_transfer(1e6, PacketNetworkParams(), seed=seed)
+        ideal_drain = 1e6 / B
+        assert t >= ideal_drain + 0.2 * 1e-4 - 1e-12
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e7),
+        st.floats(min_value=2e3, max_value=1e7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_size_without_noise(self, a, b):
+        pp = quiet_params(per_chunk_cost=18.0, ramp_bytes=16384, ramp_factor=0.55)
+        small, large = sorted((a, b))
+        assert timed_transfer(small, pp) <= timed_transfer(large, pp) + 1e-12
+
+
+class TestVirtualCluster:
+    def test_defaults_match_paper_platform(self):
+        c = VirtualCluster()
+        assert c.num_nodes == 8
+        assert c.machine.name.lower().startswith("ultrasparc")
+
+    def test_invalid_node_count(self):
+        with pytest.raises(Exception):
+            VirtualCluster(num_nodes=0)
+
+    def test_with_helpers_preserve_other_fields(self):
+        c = VirtualCluster(num_nodes=4, seed=3)
+        assert c.with_nodes(2).seed == 3
+        assert c.with_seed(5).num_nodes == 4
+        assert c.with_seed(5).packet_params == c.packet_params

@@ -1,0 +1,68 @@
+"""Streaming statistics and percentiles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import OnlineStats, percentile, summarize
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def test_empty_stats_are_nan():
+    acc = OnlineStats()
+    assert math.isnan(acc.mean)
+    assert math.isnan(acc.variance)
+    assert acc.count == 0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_online_stats_match_numpy(xs):
+    acc = OnlineStats()
+    acc.extend(xs)
+    assert acc.count == len(xs)
+    assert acc.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+    assert acc.minimum == min(xs)
+    assert acc.maximum == max(xs)
+    if len(xs) >= 2:
+        assert acc.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=80), st.lists(finite_floats, min_size=1, max_size=80))
+def test_merge_equals_combined(xs, ys):
+    a = OnlineStats()
+    a.extend(xs)
+    b = OnlineStats()
+    b.extend(ys)
+    merged = a.merge(b)
+    combined = OnlineStats()
+    combined.extend(xs + ys)
+    assert merged.count == combined.count
+    assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+
+
+def test_percentile_linear_interpolation():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(xs, 0) == 1.0
+    assert percentile(xs, 100) == 4.0
+    assert percentile(xs, 50) == pytest.approx(2.5)
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_empty_is_nan():
+    assert math.isnan(percentile([], 50))
+
+
+def test_summarize_fields():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.p50 == 2.0
+    assert s.minimum == 1.0 and s.maximum == 3.0
