@@ -9,17 +9,14 @@ system follows on real hardware.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from functools import lru_cache
 from typing import Optional
 
 from repro.analysis.prediction import PredictionStudy
-from repro.analysis.sweep import SweepCase, SweepResult, calibrated_platform, run_lu_case
+from repro.analysis.sweep import SweepCase, SweepResult, run_lu_case
 from repro.apps.lu.config import LUConfig
 from repro.dps.malleability import AllocationEvent, AllocationSchedule
 from repro.dps.trace import TraceLevel
 from repro.sim.modes import SimulationMode
-from repro.testbed.cluster import VirtualCluster
 
 #: paper matrix size
 N = 2592
@@ -73,7 +70,6 @@ def lu_cfg(
 
 
 _CACHE: dict[tuple, SweepResult] = {}
-_PLATFORMS: dict[tuple, object] = {}
 
 
 def _cfg_key(cfg: LUConfig, seed: int) -> tuple:
@@ -92,13 +88,10 @@ def _cfg_key(cfg: LUConfig, seed: int) -> tuple:
 
 
 def platform_for(nodes: int, seed: int = SEED):
-    """Calibrated platform for a cluster size (cached)."""
-    key = (nodes, seed)
-    if key not in _PLATFORMS:
-        _PLATFORMS[key] = calibrated_platform(
-            VirtualCluster(num_nodes=nodes, seed=seed)
-        )
-    return _PLATFORMS[key]
+    """Calibrated platform for a cluster size (shared memoized cache)."""
+    from repro.analysis.parallel import cached_platform
+
+    return cached_platform((nodes, seed))
 
 
 def measure_and_predict(

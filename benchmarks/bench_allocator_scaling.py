@@ -1,0 +1,197 @@
+"""Allocator scaling — incremental vs full rate recomputation.
+
+A fluid network pays its allocator on every membership change.  The full
+(baseline) allocators recompute every flow's rate each time — O(flows) rate
+assignments per change, quadratic-or-worse total work as churn grows with
+the flow count.  The incremental allocators bound the recomputation to the
+flows sharing a link (directly, or transitively through chained bottlenecks
+for max-min) with the changed flow.
+
+This bench drives a steady-state churn workload — ``F`` concurrent
+transfers between random node pairs, each completion immediately replaced —
+through both allocator modes of :class:`MaxMinStarNetwork` and
+:class:`EqualShareStarNetwork` and reports events/sec, allocator invocation
+counts, and the average number of per-flow rate recomputations per
+membership change.  Run it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_allocator_scaling.py [--quick]
+        [--flows 16,64,256] [--jobs N]
+
+It exits non-zero unless the incremental allocators do strictly less rate
+recomputation per membership change than the full baseline at >= 64 flows
+(the acceptance bar for the incremental engine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.des.kernel import Kernel
+from repro.netmodel.maxmin import MaxMinStarNetwork
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+MODELS = {
+    "maxmin": MaxMinStarNetwork,
+    "equal-share": EqualShareStarNetwork,
+}
+
+
+@dataclass
+class ChurnResult:
+    model: str
+    mode: str
+    flows: int
+    wall_time: float
+    events: int
+    allocator_calls: int
+    membership_changes: int
+    rates_computed: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_time if self.wall_time > 0 else float("inf")
+
+    @property
+    def rates_per_change(self) -> float:
+        return self.rates_computed / max(self.membership_changes, 1)
+
+
+def run_churn(
+    model: str, incremental: bool, flows: int, completions: int, seed: int = 7
+) -> ChurnResult:
+    """Steady-state churn: ``flows`` concurrent transfers, replaced on completion."""
+    kernel = Kernel()
+    params = NetworkParams(latency=0.0, bandwidth=1e6)
+    net = MODELS[model](kernel, params, incremental=incremental)
+    rng = random.Random(seed)
+    num_nodes = max(flows, 4)
+    total = flows + completions
+    spawned = 0
+
+    def submit() -> None:
+        nonlocal spawned
+        spawned += 1
+        src = rng.randrange(num_nodes)
+        dst = rng.randrange(num_nodes)
+        while dst == src:
+            dst = rng.randrange(num_nodes)
+        net.submit(src, dst, rng.uniform(0.5e6, 1.5e6), on_done)
+
+    def on_done(_transfer) -> None:
+        if spawned < total:
+            submit()
+
+    start = time.perf_counter()
+    for _ in range(flows):
+        submit()
+    kernel.run()
+    wall = time.perf_counter() - start
+
+    stats = net.allocator.stats
+    return ChurnResult(
+        model=model,
+        mode="incremental" if incremental else "full",
+        flows=flows,
+        wall_time=wall,
+        events=kernel.events_executed,
+        allocator_calls=stats.incremental_updates + stats.full_allocations,
+        # Every transfer enters and leaves the drain pool exactly once.
+        membership_changes=2 * spawned,
+        rates_computed=stats.rates_computed,
+    )
+
+
+def _run_scenario(args_tuple) -> ChurnResult:
+    return run_churn(*args_tuple)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small flow counts and fewer completions (CI smoke)",
+    )
+    parser.add_argument(
+        "--flows", default=None, metavar="F1,F2,..",
+        help="comma-separated concurrent-flow counts (overrides --quick)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the scenario grid (0 = one per CPU)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.flows is not None:
+        try:
+            flow_counts = [int(v) for v in args.flows.split(",") if v.strip()]
+        except ValueError as exc:
+            parser.error(f"--flows expects comma-separated integers: {exc}")
+        if not flow_counts:
+            parser.error("--flows needs at least one value")
+    elif args.quick:
+        flow_counts = [16, 64]
+    else:
+        flow_counts = [16, 64, 256]
+    churn_factor = 2 if args.quick else 4
+
+    scenarios = [
+        (model, incremental, flows, churn_factor * flows)
+        for model in MODELS
+        for flows in flow_counts
+        for incremental in (False, True)
+    ]
+    if args.jobs != 1:
+        with multiprocessing.Pool(processes=args.jobs or None) as pool:
+            results = pool.map(_run_scenario, scenarios)
+    else:
+        results = [_run_scenario(s) for s in scenarios]
+
+    header = (
+        f"{'model':<12} {'mode':<12} {'flows':>6} {'events/s':>10} "
+        f"{'alloc calls':>12} {'rates/change':>13} {'wall [s]':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for res in results:
+        print(
+            f"{res.model:<12} {res.mode:<12} {res.flows:>6} "
+            f"{res.events_per_sec:>10.0f} {res.allocator_calls:>12} "
+            f"{res.rates_per_change:>13.2f} {res.wall_time:>9.3f}"
+        )
+
+    # Acceptance: incremental allocator work per membership change must be
+    # strictly below the full-recompute baseline once contention is real.
+    failures = []
+    by_key = {(r.model, r.flows, r.mode): r for r in results}
+    for model in MODELS:
+        for flows in flow_counts:
+            if flows < 64:
+                continue
+            inc = by_key[(model, flows, "incremental")]
+            full = by_key[(model, flows, "full")]
+            if not inc.rates_per_change < full.rates_per_change:
+                failures.append(
+                    f"{model} @ {flows} flows: incremental "
+                    f"{inc.rates_per_change:.2f} >= full {full.rates_per_change:.2f}"
+                )
+    if failures:
+        print("\nFAIL: incremental allocator not sub-linear:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if not any(flows >= 64 for flows in flow_counts):
+        print("\nNOTE: no flow count >= 64 — sub-linearity assertion skipped.")
+        return 0
+    print("\nOK: incremental rate recomputation per change beats the full "
+          "baseline at every flow count >= 64.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from repro.analysis.export import (
     transfers_to_csv,
     write_chrome_trace,
 )
+from repro.analysis.parallel import ParallelSweepRunner, cached_platform, clear_platform_cache
 from repro.analysis.sweep import SweepCase, SweepResult, run_lu_case, sweep
 from repro.analysis.tables import ascii_bar_chart, ascii_histogram, ascii_table
 from repro.analysis.timeline import node_lanes, phase_summary, render_timeline
@@ -41,6 +42,9 @@ __all__ = [
     "SweepResult",
     "run_lu_case",
     "sweep",
+    "ParallelSweepRunner",
+    "cached_platform",
+    "clear_platform_cache",
     "ascii_table",
     "ascii_bar_chart",
     "ascii_histogram",

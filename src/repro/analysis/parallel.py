@@ -1,0 +1,142 @@
+"""Parallel execution of validation sweeps.
+
+The validation sweeps are embarrassingly parallel: every
+:class:`~repro.analysis.sweep.SweepCase` is an independent
+measurement/prediction pair.  :class:`ParallelSweepRunner` fans
+:func:`~repro.analysis.sweep.run_lu_case` out over a
+:mod:`multiprocessing` pool while keeping the expensive per-platform
+calibration shared: distinct ``(cluster size, seed)`` keys are calibrated
+exactly once (themselves in parallel) through a memoized cache, and each
+worker receives the ready-made :class:`~repro.sim.platform.PlatformSpec`
+with its case instead of re-calibrating.
+
+Results are returned in case order and are identical to a serial
+:func:`~repro.analysis.sweep.sweep` — the simulations are deterministic and
+share no state across cases.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Optional
+
+from repro.analysis.prediction import PredictionStudy
+from repro.dps.trace import TraceLevel
+from repro.errors import ConfigurationError
+from repro.sim.platform import PlatformSpec
+from repro.testbed.cluster import VirtualCluster
+
+#: Platform key: (cluster size, measurement seed).
+PlatformKey = tuple[int, int]
+
+#: Process-wide memoized calibrations, shared by serial and parallel runs.
+_PLATFORM_CACHE: dict[PlatformKey, PlatformSpec] = {}
+
+
+def platform_key(case) -> PlatformKey:
+    """The calibration cache key of a sweep case."""
+    return (case.cfg.num_nodes, case.seed)
+
+
+def cached_platform(key: PlatformKey) -> PlatformSpec:
+    """Calibrate the platform for ``key`` once; reuse it afterwards."""
+    from repro.analysis.sweep import calibrated_platform
+
+    platform = _PLATFORM_CACHE.get(key)
+    if platform is None:
+        num_nodes, seed = key
+        platform = calibrated_platform(VirtualCluster(num_nodes=num_nodes, seed=seed))
+        _PLATFORM_CACHE[key] = platform
+    return platform
+
+
+def clear_platform_cache() -> None:
+    """Drop memoized calibrations (tests and long-lived sessions)."""
+    _PLATFORM_CACHE.clear()
+
+
+# -------------------------------------------------------------- worker side
+def _calibrate_worker(key: PlatformKey) -> tuple[PlatformKey, PlatformSpec]:
+    return key, cached_platform(key)
+
+
+def _case_worker(payload):
+    from repro.analysis.sweep import run_lu_case
+
+    index, case, platform, trace_level, keep_runs = payload
+    result = run_lu_case(
+        case, platform=platform, trace_level=trace_level, keep_runs=keep_runs
+    )
+    return index, result
+
+
+class ParallelSweepRunner:
+    """Run sweep cases across a process pool with shared calibrations.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` or 0 means one per CPU; 1 runs
+        everything in-process (no pool), which is handy under debuggers.
+    trace_level, keep_runs:
+        Forwarded to :func:`~repro.analysis.sweep.run_lu_case`.  Run records
+        requested via ``keep_runs`` must survive pickling when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        trace_level: TraceLevel = TraceLevel.SUMMARY,
+        keep_runs: bool = False,
+    ) -> None:
+        if jobs is not None and jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0, got {jobs!r}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.trace_level = trace_level
+        self.keep_runs = keep_runs
+
+    def run(
+        self,
+        cases,
+        study: Optional[PredictionStudy] = None,
+        platform: Optional[PlatformSpec] = None,
+    ):
+        """Run every case; returns results in case order.
+
+        Feeds measured/predicted pairs into ``study`` when given, exactly
+        like the serial :func:`~repro.analysis.sweep.sweep`.  An explicit
+        ``platform`` overrides the per-case calibration cache.
+        """
+        cases = list(cases)
+        results = [None] * len(cases)
+        if not cases:
+            return []
+
+        def case_platform(case) -> PlatformSpec:
+            return platform if platform is not None else cached_platform(platform_key(case))
+
+        if self.jobs == 1:
+            for i, case in enumerate(cases):
+                _, results[i] = _case_worker(
+                    (i, case, case_platform(case), self.trace_level, self.keep_runs)
+                )
+        else:
+            with multiprocessing.Pool(processes=min(self.jobs, len(cases))) as pool:
+                if platform is None:
+                    # Calibrate each distinct platform once, in parallel, and
+                    # memoize in the parent so later runs reuse them for free.
+                    keys = sorted({platform_key(case) for case in cases})
+                    missing = [k for k in keys if k not in _PLATFORM_CACHE]
+                    for key, calibrated in pool.map(_calibrate_worker, missing):
+                        _PLATFORM_CACHE[key] = calibrated
+                payloads = [
+                    (i, case, case_platform(case), self.trace_level, self.keep_runs)
+                    for i, case in enumerate(cases)
+                ]
+                for index, result in pool.imap_unordered(_case_worker, payloads):
+                    results[index] = result
+        if study is not None:
+            for result in results:
+                study.add(result.case.label, result.measured, result.predicted)
+        return results

@@ -6,6 +6,16 @@ node count, allocation strategy) with a measured and a predicted series.
 simulator prediction with testbed-calibrated network parameters — and
 :func:`sweep` maps it over a case list, feeding a
 :class:`~repro.analysis.prediction.PredictionStudy`.
+
+The cases of a sweep are independent, so :func:`sweep` accepts ``jobs``:
+``jobs=1`` (the default) runs serially in-process; any other value fans the
+cases out over a :class:`~repro.analysis.parallel.ParallelSweepRunner`
+process pool (``jobs=None``/``0`` → one worker per CPU).  Either way, the
+per-platform calibration is memoized in a shared cache keyed by
+``(cluster size, seed)`` — repeated sweeps never recalibrate, and parallel
+runs calibrate each distinct platform exactly once before fanning out.
+Results are case-for-case identical between serial and parallel runs.  The
+``repro sweep`` CLI subcommand exposes the same workflow via ``--jobs``.
 """
 
 from __future__ import annotations
@@ -79,7 +89,9 @@ def run_lu_case(
     cfg = case.cfg
     cluster = VirtualCluster(num_nodes=cfg.num_nodes, seed=case.seed)
     if platform is None:
-        platform = calibrated_platform(cluster)
+        from repro.analysis.parallel import cached_platform, platform_key
+
+        platform = cached_platform(platform_key(case))
     run_kernels = cfg.mode.runs_kernels
 
     measurement = TestbedExecutor(
@@ -109,14 +121,18 @@ def sweep(
     study: Optional[PredictionStudy] = None,
     trace_level: TraceLevel = TraceLevel.SUMMARY,
     keep_runs: bool = False,
+    jobs: int = 1,
 ) -> list[SweepResult]:
-    """Run every case; feed measured/predicted pairs into ``study``."""
-    results = []
-    for case in cases:
-        result = run_lu_case(
-            case, platform=platform, trace_level=trace_level, keep_runs=keep_runs
-        )
-        if study is not None:
-            study.add(case.label, result.measured, result.predicted)
-        results.append(result)
-    return results
+    """Run every case; feed measured/predicted pairs into ``study``.
+
+    ``jobs=1`` (the default) runs serially in-process; any other value
+    fans out over a process pool (``None``/``0`` → one worker per CPU)
+    with case-for-case identical results.  Both paths go through
+    :class:`~repro.analysis.parallel.ParallelSweepRunner`.
+    """
+    from repro.analysis.parallel import ParallelSweepRunner
+
+    runner = ParallelSweepRunner(
+        jobs=jobs, trace_level=trace_level, keep_runs=keep_runs
+    )
+    return runner.run(cases, study=study, platform=platform)

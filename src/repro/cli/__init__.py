@@ -7,6 +7,8 @@ Commands
   the simulator (prediction), the virtual cluster (measurement) or both.
 * ``efficiency`` — per-iteration dynamic efficiency of an LU run (Fig. 11).
 * ``calibrate`` — characterize a network model's latency and bandwidth.
+* ``sweep`` — measured-vs-predicted validation sweep; ``--jobs`` runs the
+  independent cases on a process pool with a shared calibration cache.
 * ``graph`` — dump an application's flow-graph structure.
 * ``server`` — cluster-level scheduling of malleable jobs (paper §9).
 """
@@ -28,6 +30,7 @@ from repro.cli.tools import (
     add_calibrate_parser,
     add_efficiency_parser,
     add_graph_parser,
+    add_sweep_parser,
 )
 from repro.errors import ReproError
 
@@ -48,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_matmul_parser(sub)
     add_efficiency_parser(sub)
     add_calibrate_parser(sub)
+    add_sweep_parser(sub)
     add_graph_parser(sub)
     add_server_parser(sub)
     return parser

@@ -9,6 +9,7 @@ from repro.apps.lu.app import LUApplication
 from repro.apps.lu.config import LUConfig
 from repro.apps.lu.costs import LUCostModel
 from repro.cli.common import parse_kill_events
+from repro.errors import ConfigurationError
 from repro.netmodel.calibration import calibrate
 from repro.netmodel.packet import PacketNetwork
 from repro.netmodel.star import EqualShareStarNetwork
@@ -137,6 +138,94 @@ def cmd_efficiency(args: argparse.Namespace) -> int:
     ))
     print(f"\npredicted running time : {result.predicted_time:.2f} s")
     print(f"whole-run efficiency   : {mean_efficiency(result.run):.1%}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# sweep
+# --------------------------------------------------------------------------
+
+
+def add_sweep_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``sweep`` subcommand."""
+    p = sub.add_parser(
+        "sweep",
+        help="measured-vs-predicted LU validation sweep (parallelizable)",
+        description=(
+            "Run a measured/predicted pair for every (block size, node "
+            "count) combination; --jobs fans the independent cases out "
+            "over a process pool with a shared calibration cache."
+        ),
+    )
+    p.add_argument("--n", type=int, default=2592, help="matrix size")
+    p.add_argument(
+        "--r", default="216,324", metavar="R1,R2,..",
+        help="comma-separated decomposition block sizes (must divide n)",
+    )
+    p.add_argument(
+        "--nodes", default="4", metavar="N1,N2,..",
+        help="comma-separated cluster sizes",
+    )
+    p.add_argument("--seed", type=int, default=1, help="measurement seed")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = one per CPU, 1 = serial)",
+    )
+    p.set_defaults(func=cmd_sweep)
+
+
+def _parse_int_list(text: str, option: str) -> list[int]:
+    try:
+        values = [int(v) for v in text.split(",") if v.strip()]
+    except ValueError as exc:
+        raise ConfigurationError(f"{option} expects comma-separated integers: {exc}")
+    if not values:
+        raise ConfigurationError(f"{option} needs at least one value")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the LU validation sweep and print the prediction-error study."""
+    from repro.analysis.prediction import PredictionStudy
+    from repro.analysis.sweep import SweepCase, sweep
+
+    block_sizes = _parse_int_list(args.r, "--r")
+    node_counts = _parse_int_list(args.nodes, "--nodes")
+    cases = [
+        SweepCase(
+            f"r={r},nodes={nodes}",
+            LUConfig(
+                n=args.n,
+                r=r,
+                num_threads=max(nodes, 2),
+                num_nodes=nodes,
+                mode=SimulationMode.PDEXEC_NOALLOC,
+            ),
+            seed=args.seed,
+        )
+        for nodes in node_counts
+        for r in block_sizes
+    ]
+    study = PredictionStudy()
+    results = sweep(cases, study=study, jobs=args.jobs)
+    rows = [
+        (
+            res.case.label,
+            f"{res.measured:.2f} s",
+            f"{res.predicted:.2f} s",
+            f"{res.error:+.1%}",
+        )
+        for res in results
+    ]
+    print(ascii_table(
+        ("case", "measured", "predicted", "error"),
+        rows,
+        title=f"LU validation sweep, n={args.n}, jobs={args.jobs or 'auto'}",
+    ))
+    summary = study.summary()
+    print(f"\ncases                   : {summary['count']:.0f}")
+    print(f"within 6% of measurement: {summary['within_6pct']:.0%}")
+    print(f"max abs prediction error: {summary['max_abs']:.1%}")
     return 0
 
 

@@ -73,8 +73,12 @@ class CpuModel(ABC):
         """Number of compute steps currently running on ``node``."""
 
     @abstractmethod
-    def _on_network_change(self) -> None:
-        """React to a change in concurrent-transfer counts."""
+    def _on_network_change(self, nodes: Optional[tuple[int, ...]] = None) -> None:
+        """React to a change in concurrent-transfer counts.
+
+        ``nodes`` names the nodes whose counts changed (``None`` means
+        unknown — refresh everything).
+        """
 
     # ------------------------------------------------------------- helpers
     def _node_power(self, node: int) -> float:

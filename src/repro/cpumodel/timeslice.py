@@ -130,5 +130,5 @@ class TimesliceCpuModel(CpuModel):
             degraded = power_cache[node] / (1.0 + self.params.csw_overhead * (n - 1))
             task.rate = degraded / n
 
-    def _on_network_change(self) -> None:
+    def _on_network_change(self, nodes=None) -> None:
         self._pool.reallocate()

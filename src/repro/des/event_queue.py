@@ -19,7 +19,7 @@ from repro.errors import SimulationError
 class EventHandle:
     """Handle to a scheduled event; lets the owner cancel or inspect it."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -27,20 +27,35 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        queue: "Optional[EventQueue]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when it reaches the heap top."""
+        """Mark the event so it will be skipped when it reaches the heap top.
+
+        Idempotent, and keeps the owning queue's live-event count in sync
+        whether cancellation goes through this method or
+        :meth:`EventQueue.cancel` — both are the same code path.  Cancelling
+        a handle that already executed (or whose queue was cleared) is a
+        no-op for the accounting.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references early: a cancelled transfer-completion event may
         # otherwise pin a large payload in memory until it pops.
         self.callback = _cancelled_callback
         self.args = ()
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._live -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -70,16 +85,14 @@ class EventQueue:
         """Schedule ``callback(*args)`` at absolute ``time``; returns a handle."""
         if not math.isfinite(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
-        handle = EventHandle(float(time), next(self._counter), callback, args)
+        handle = EventHandle(float(time), next(self._counter), callback, args, queue=self)
         heapq.heappush(self._heap, handle)
         self._live += 1
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously pushed event (idempotent)."""
-        if not handle.cancelled:
-            handle.cancel()
-            self._live -= 1
+        handle.cancel()
 
     def pop(self) -> EventHandle:
         """Remove and return the earliest live event.
@@ -90,6 +103,9 @@ class EventQueue:
             handle = heapq.heappop(self._heap)
             if not handle.cancelled:
                 self._live -= 1
+                # Detach so a late cancel() of an executed event cannot
+                # corrupt the live count.
+                handle._queue = None
                 return handle
         raise SimulationError("pop from an empty event queue")
 
@@ -107,5 +123,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every event (used when tearing a simulation down)."""
+        for handle in self._heap:
+            handle._queue = None
         self._heap.clear()
         self._live = 0

@@ -16,12 +16,45 @@ once so both models share it:
 This is event-driven exact integration of piecewise-linear progress — no
 time-stepping, which keeps large simulations cheap (the optimization guide's
 "compute less" rule).
+
+Incremental allocation contract
+-------------------------------
+
+Allocators come in two flavours:
+
+* a plain callable ``allocate(tasks)`` — the pool invokes it with the full
+  task list on every membership change (full recompute);
+* a :class:`RateAllocator` object — the pool additionally tracks the *dirty
+  set* of tasks added and removed since the last rate assignment and hands
+  it to :meth:`RateAllocator.update`, so the allocator may recompute rates
+  only for the tasks whose rates can actually have changed (e.g. flows
+  sharing a link — directly or transitively — with the changed flow).
+
+The contract for an incremental allocator is:
+
+* after ``update(tasks, added, removed)`` returns, every task in ``tasks``
+  carries the same rate a full :meth:`RateAllocator.allocate` would assign
+  (within float reassociation noise, bounded by ~1e-9 relative);
+* ``removed`` tasks are no longer rate-bearing; the allocator must drop any
+  internal bookkeeping it holds for them, even when ``tasks`` is empty;
+* :meth:`RateAllocator.refresh` handles *external* invalidations (e.g. the
+  CPU model's coupling to network activity) and may use the ``hint``
+  argument to bound the recomputation;
+* construction with ``verify=True`` enables the exact-equivalence mode:
+  every incremental update is shadowed by a full recomputation and any
+  disagreement beyond ``VERIFY_RTOL`` raises — the mode the equivalence
+  test-suite runs under.
+
+:class:`AllocatorStats` counts full recomputations, incremental updates and
+per-task rate assignments, which ``benchmarks/bench_allocator_scaling.py``
+uses to demonstrate sub-linear allocator work per membership change.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.des.event_queue import EventHandle
 from repro.des.kernel import Kernel
@@ -31,6 +64,9 @@ from repro.errors import SimulationError
 _COMPLETION_RTOL = 1e-9
 #: Absolute tolerance for tasks whose total work is tiny or zero.
 _COMPLETION_ATOL = 1e-12
+
+#: Tolerance of the exact-equivalence (``verify=True``) shadow check.
+VERIFY_RTOL = 1e-9
 
 
 class FluidTask:
@@ -83,8 +119,130 @@ class FluidTask:
         )
 
 
-#: An allocator receives the active tasks and must set ``task.rate`` on each.
+#: A legacy allocator receives the active tasks and sets ``task.rate`` on each.
 Allocator = Callable[[list[FluidTask]], None]
+
+
+@dataclass
+class AllocatorStats:
+    """Work counters for allocator benchmarking and regression tests."""
+
+    #: full recomputations over the whole task list
+    full_allocations: int = 0
+    #: incremental (dirty-set-bounded) updates
+    incremental_updates: int = 0
+    #: external-coupling refreshes
+    refreshes: int = 0
+    #: per-task rate assignments actually performed
+    rates_computed: int = 0
+
+    def reset(self) -> None:
+        self.full_allocations = 0
+        self.incremental_updates = 0
+        self.refreshes = 0
+        self.rates_computed = 0
+
+
+class RateAllocator:
+    """Base class for allocators that can update rates incrementally.
+
+    Subclasses must implement :meth:`_full` (full recompute) and may
+    override :meth:`_update` / :meth:`_refresh` with dirty-set-bounded
+    versions.  The public entry points wrap those with stats accounting and
+    the ``verify=True`` exact-equivalence shadow check.
+    """
+
+    def __init__(self, verify: bool = False) -> None:
+        self.verify = verify
+        self.stats = AllocatorStats()
+
+    # ---------------------------------------------------------- subclass api
+    def _full(self, tasks: list[FluidTask]) -> None:
+        """Assign a rate to every task (full recompute)."""
+        raise NotImplementedError
+
+    def _update(
+        self,
+        tasks: list[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        """Incremental membership update; default falls back to full."""
+        self._full(tasks)
+        self.stats.rates_computed += len(tasks)
+
+    def _refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
+        """External invalidation (cross-pool coupling); default full."""
+        self._full(tasks)
+        self.stats.rates_computed += len(tasks)
+
+    # ------------------------------------------------------------ pool entry
+    def allocate(self, tasks: list[FluidTask]) -> None:
+        self.stats.full_allocations += 1
+        self.stats.rates_computed += len(tasks)
+        self._full(tasks)
+
+    def update(
+        self,
+        tasks: list[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        self.stats.incremental_updates += 1
+        self._update(tasks, added, removed)
+        if self.verify:
+            self._verify_equivalence(tasks)
+
+    def refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
+        self.stats.refreshes += 1
+        self._refresh(tasks, hint)
+        if self.verify:
+            self._verify_equivalence(tasks)
+
+    # -------------------------------------------------------------- internals
+    def _verify_equivalence(self, tasks: list[FluidTask]) -> None:
+        """Shadow every incremental result with a full recompute."""
+        incremental = [t.rate for t in tasks]
+        self._full(tasks)
+        for task, inc_rate in zip(tasks, incremental):
+            scale = max(abs(task.rate), abs(inc_rate), 1.0)
+            if abs(task.rate - inc_rate) > VERIFY_RTOL * scale:
+                raise SimulationError(
+                    f"incremental allocation diverged from full recompute: "
+                    f"task {task!r} incremental={inc_rate!r} full={task.rate!r}"
+                )
+
+
+class FullRecomputeAllocator(RateAllocator):
+    """Mixin forcing every update/refresh through the full recompute.
+
+    Mix in *before* an incremental allocator class to get its full path on
+    every change — the benchmark baseline mode.
+    """
+
+    def _update(
+        self,
+        tasks: list[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        self.stats.rates_computed += len(tasks)
+        self._full(tasks)
+
+    def _refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
+        self.stats.rates_computed += len(tasks)
+        self._full(tasks)
+
+
+class _CallableAllocator(RateAllocator):
+    """Adapter giving legacy callable allocators the object interface."""
+
+    def __init__(self, fn: Allocator) -> None:
+        super().__init__(verify=False)
+        self._fn = fn
+
+    def _full(self, tasks: list[FluidTask]) -> None:
+        self._fn(tasks)
 
 
 class FluidPool:
@@ -93,15 +251,33 @@ class FluidPool:
     The allocator must assign a **non-negative finite** rate to every task;
     a zero rate starves the task (legal — e.g. a compute step on a node whose
     power is fully consumed by communication handling).
+
+    ``allocator`` may be a plain callable (full recompute on every change)
+    or a :class:`RateAllocator`, in which case the pool tracks the dirty set
+    of added/removed tasks between rate assignments and dispatches
+    membership changes through :meth:`RateAllocator.update`.
     """
 
-    def __init__(self, kernel: Kernel, allocator: Allocator, name: str = "") -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        allocator: Union[Allocator, RateAllocator],
+        name: str = "",
+    ) -> None:
         self.kernel = kernel
-        self.allocator = allocator
+        if isinstance(allocator, RateAllocator):
+            self.allocator = allocator
+            self._incremental = True
+        else:
+            self.allocator = _CallableAllocator(allocator)
+            self._incremental = False
         self.name = name or "fluid-pool"
         self._tasks: list[FluidTask] = []
         self._last_update = kernel.now
         self._event: Optional[EventHandle] = None
+        # Dirty set: membership deltas since the allocator last ran.
+        self._added: list[FluidTask] = []
+        self._removed: list[FluidTask] = []
         #: total completed work, for conservation checks in tests
         self.completed_work = 0.0
         self.completed_tasks = 0
@@ -120,16 +296,19 @@ class FluidPool:
         task.pool = self
         task.started_at = self.kernel.now
         if task._drained():
-            # Complete without ever occupying capacity.
+            # Complete without ever occupying capacity.  Still credit the
+            # (possibly tiny but positive) work so conservation holds.
             task.pool = None
             task.remaining = 0.0
             task.finished_at = self.kernel.now
+            self.completed_work += task.work
             self.completed_tasks += 1
             task.on_complete(task)
             # Membership may have changed re-entrantly; reallocate anyway.
             self._reallocate()
             return task
         self._tasks.append(task)
+        self._added.append(task)
         self._reallocate()
         return task
 
@@ -140,18 +319,29 @@ class FluidPool:
         self._advance()
         self._tasks.remove(task)
         task.pool = None
+        self._note_removed(task)
         self._reallocate()
 
-    def reallocate(self) -> None:
+    def reallocate(self, hint: Any = None) -> None:
         """Force a rate recomputation (for cross-pool couplings).
 
         The CPU model calls this when the *network* pool's membership
         changes, because communication handling consumes processing power.
+        ``hint`` is forwarded to an incremental allocator's
+        :meth:`RateAllocator.refresh` so it can bound the recomputation
+        (e.g. to the nodes whose transfer counts changed).
         """
         self._advance()
-        self._reallocate()
+        self._reallocate(refresh=True, hint=hint)
 
     # -------------------------------------------------------------- internals
+    def _note_removed(self, task: FluidTask) -> None:
+        """Record a departure in the dirty set (cancelling a pending add)."""
+        if task in self._added:
+            self._added.remove(task)
+        else:
+            self._removed.append(task)
+
     def _advance(self) -> None:
         """Integrate progress since the last rate assignment."""
         now = self.kernel.now
@@ -164,13 +354,26 @@ class FluidPool:
                     task.remaining = max(0.0, task.remaining - task.rate * dt)
         self._last_update = now
 
-    def _reallocate(self) -> None:
+    def _reallocate(self, refresh: bool = False, hint: Any = None) -> None:
         if self._event is not None:
             self.kernel.cancel(self._event)
             self._event = None
+        added, removed = self._added, self._removed
+        if added or removed:
+            self._added, self._removed = [], []
+        if not self._tasks and not (self._incremental and (added or removed)):
+            return
+        if self._incremental:
+            # Deliver pending membership deltas first so the allocator's
+            # internal indices are current, then apply any refresh.
+            if added or removed:
+                self.allocator.update(self._tasks, added, removed)
+            if refresh and self._tasks:
+                self.allocator.refresh(self._tasks, hint)
+        else:
+            self.allocator.allocate(self._tasks)
         if not self._tasks:
             return
-        self.allocator(self._tasks)
         horizon = math.inf
         for task in self._tasks:
             if not math.isfinite(task.rate) or task.rate < 0.0:
@@ -215,6 +418,7 @@ class FluidPool:
             self.completed_tasks += 1
             task.remaining = 0.0
             task.finished_at = self.kernel.now
+            self._note_removed(task)
         # Run completion callbacks *after* detaching all finished tasks so a
         # callback that admits new work sees a consistent pool.
         for task in finished:

@@ -22,8 +22,10 @@ from repro.util.validation import check_non_negative
 
 #: Callback type invoked when a transfer completes.
 CompletionCallback = Callable[["Transfer"], None]
-#: Listener invoked whenever any node's concurrent-transfer counts change.
-ActivityListener = Callable[[], None]
+#: Listener invoked whenever any node's concurrent-transfer counts change;
+#: receives the nodes whose counts changed (or ``None`` for "unknown"), so
+#: incremental CPU allocators can bound their rate refresh to those nodes.
+ActivityListener = Callable[[Optional[tuple[int, ...]]], None]
 
 
 class Transfer:
@@ -105,7 +107,7 @@ class NetworkModel(ABC):
         self._outgoing[src] = self._outgoing.get(src, 0) + 1
         self._incoming[dst] = self._incoming.get(dst, 0) + 1
         self._start(transfer)
-        self._notify()
+        self._notify((src, dst))
         return transfer
 
     def concurrent_outgoing(self, node: int) -> int:
@@ -138,8 +140,8 @@ class NetworkModel(ABC):
         self.completed_transfers += 1
         self.delivered_bytes += transfer.size
         transfer.on_complete(transfer)
-        self._notify()
+        self._notify((transfer.src, transfer.dst))
 
-    def _notify(self) -> None:
+    def _notify(self, nodes: Optional[tuple[int, ...]] = None) -> None:
         for listener in self._listeners:
-            listener()
+            listener(nodes)

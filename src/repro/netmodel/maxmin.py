@@ -8,16 +8,35 @@ LAN approximately share capacity, so the ground-truth testbed builds on this
 model while the paper's simulator uses the simpler equal-share law; the
 difference between the two is one genuine source of prediction error, and
 ``benchmarks/bench_ablation_network.py`` quantifies it.
+
+Rate allocation is *incremental* by default: max-min rates decompose over
+connected components of the bipartite flow/link graph, so when a flow
+arrives or departs only the flows in its component — those sharing a link
+with it directly or transitively through chained bottlenecks — can change
+rate.  :class:`IncrementalMaxMinAllocator` maintains a link → flows index,
+finds the affected component by BFS, and re-runs water-filling on that
+component alone, falling back to a full recomputation when the component
+cascades past ``cascade_threshold`` of the active flows (at which point the
+restricted solve would cost as much as the full one).
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
-from repro.des.fluid import FluidPool, FluidTask
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator, RateAllocator
 from repro.des.kernel import Kernel
+from repro.errors import SimulationError
 from repro.netmodel.base import NetworkModel, Transfer
 from repro.netmodel.params import NetworkParams
+
+#: A link of the star topology: egress ("out") or ingress ("in") of a node.
+Link = tuple[str, int]
+
+
+def _flow_links(src: int, dst: int) -> tuple[Link, Link]:
+    return ("out", src), ("in", dst)
 
 
 def maxmin_rates(
@@ -42,10 +61,10 @@ def maxmin_rates(
     if n == 0:
         return rates
     # Link keys: ("out", node) and ("in", node).
-    remaining_cap: dict[tuple[str, int], float] = {}
-    link_flows: dict[tuple[str, int], set[int]] = {}
+    remaining_cap: dict[Link, float] = {}
+    link_flows: dict[Link, set[int]] = {}
     for i, (src, dst) in enumerate(flows):
-        for link in (("out", src), ("in", dst)):
+        for link in _flow_links(src, dst):
             remaining_cap.setdefault(link, capacity)
             link_flows.setdefault(link, set()).add(i)
     unfrozen = set(range(n))
@@ -69,17 +88,150 @@ def maxmin_rates(
             rates[i] = bottleneck_share
             unfrozen.discard(i)
             src, dst = flows[i]
-            for link in (("out", src), ("in", dst)):
-                remaining_cap[link] -= bottleneck_share
+            for link in _flow_links(src, dst):
+                # Clamp: repeated subtraction can drift a hair below zero
+                # under float error, and a negative residual would later
+                # surface as a negative fair share — an invalid rate.
+                remaining_cap[link] = max(0.0, remaining_cap[link] - bottleneck_share)
+    # Invariant: no link carries more than its capacity (modulo rounding).
+    for link, members in link_flows.items():
+        allocated = sum(rates[i] for i in members)
+        if allocated > capacity * (1.0 + 1e-9) + 1e-12:
+            raise SimulationError(
+                f"max-min allocation over capacity on link {link!r}: "
+                f"{allocated!r} > {capacity!r}"
+            )
     return rates
 
 
-class MaxMinStarNetwork(NetworkModel):
-    """Star-topology fluid network with max-min fair bandwidth sharing."""
+class IncrementalMaxMinAllocator(RateAllocator):
+    """Dirty-set-bounded water-filling for star-topology fluid tasks.
 
-    def __init__(self, kernel: Kernel, params: NetworkParams) -> None:
+    Tasks must be tagged with objects exposing ``src``/``dst`` node ids
+    (:class:`~repro.netmodel.base.Transfer` does).  On a membership change
+    the allocator recomputes rates only for the connected component of the
+    flow/link graph containing the changed flows; flows sharing no link —
+    even transitively — keep their rates, which is exact because water
+    filling decomposes over components.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        cascade_threshold: float = 0.5,
+        verify: bool = False,
+    ) -> None:
+        super().__init__(verify=verify)
+        self.capacity = capacity
+        self.cascade_threshold = cascade_threshold
+        # Insertion-ordered (dict-as-set): set iteration over id-hashed
+        # tasks or str-hashed links would vary between process runs and
+        # leak float nondeterminism into the water-fill order.
+        self._link_tasks: dict[Link, dict[FluidTask, None]] = {}
+
+    # ---------------------------------------------------------------- helpers
+    def _register(self, task: FluidTask) -> None:
+        for link in _flow_links(task.tag.src, task.tag.dst):
+            self._link_tasks.setdefault(link, {})[task] = None
+
+    def _unregister(self, task: FluidTask) -> None:
+        for link in _flow_links(task.tag.src, task.tag.dst):
+            members = self._link_tasks.get(link)
+            if members is not None:
+                members.pop(task, None)
+                if not members:
+                    del self._link_tasks[link]
+
+    def _component(self, seed_links: Sequence[Link]) -> list[FluidTask]:
+        """Flows reachable from ``seed_links`` in the flow/link graph."""
+        dirty: set[FluidTask] = set()
+        ordered: list[FluidTask] = []
+        frontier = [link for link in seed_links if link in self._link_tasks]
+        seen_links = set(seed_links)
+        while frontier:
+            link = frontier.pop()
+            for task in self._link_tasks.get(link, ()):
+                if task in dirty:
+                    continue
+                dirty.add(task)
+                ordered.append(task)
+                for other in _flow_links(task.tag.src, task.tag.dst):
+                    if other not in seen_links:
+                        seen_links.add(other)
+                        frontier.append(other)
+        return ordered
+
+    def _solve(self, tasks: Sequence[FluidTask]) -> None:
+        rates = maxmin_rates(
+            [(t.tag.src, t.tag.dst) for t in tasks], self.capacity
+        )
+        for task, rate in zip(tasks, rates):
+            task.rate = rate
+
+    # ------------------------------------------------------------- allocator
+    def _full(self, tasks: list[FluidTask]) -> None:
+        # Rebuild the link index from scratch: the full path must not
+        # depend on incremental bookkeeping being in sync.
+        self._link_tasks = {}
+        for task in tasks:
+            self._register(task)
+        self._solve(tasks)
+
+    def _update(
+        self,
+        tasks: list[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        # Ordered dedup (not a set) for the determinism reason above.
+        seed_links: dict[Link, None] = {}
+        for task in removed:
+            for link in _flow_links(task.tag.src, task.tag.dst):
+                seed_links[link] = None
+            self._unregister(task)
+        for task in added:
+            self._register(task)
+            for link in _flow_links(task.tag.src, task.tag.dst):
+                seed_links[link] = None
+        if not tasks:
+            return
+        dirty = self._component(list(seed_links))
+        if len(dirty) > self.cascade_threshold * len(tasks):
+            # The cascade reaches most of the pool; the restricted solve
+            # would cost as much as the full one, so do the full one.
+            self.stats.rates_computed += len(tasks)
+            self._solve(tasks)
+            return
+        self.stats.rates_computed += len(dirty)
+        self._solve(dirty)
+
+
+class MaxMinStarNetwork(NetworkModel):
+    """Star-topology fluid network with max-min fair bandwidth sharing.
+
+    ``incremental=False`` restores the full-recompute-per-event allocator
+    (the benchmark baseline); ``verify_incremental=True`` shadows every
+    incremental update with a full solve and raises on divergence.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: NetworkParams,
+        incremental: bool = True,
+        verify_incremental: bool = False,
+        cascade_threshold: float = 0.5,
+    ) -> None:
         super().__init__(kernel, params)
-        self._pool = FluidPool(kernel, self._allocate, name="maxmin-network")
+        allocator_cls = (
+            IncrementalMaxMinAllocator if incremental else _FullMaxMinAllocator
+        )
+        self.allocator = allocator_cls(
+            params.bandwidth,
+            cascade_threshold=cascade_threshold,
+            verify=verify_incremental,
+        )
+        self._pool = FluidPool(kernel, self.allocator, name="maxmin-network")
 
     def _start(self, transfer: Transfer) -> None:
         delay = self.params.effective_latency
@@ -95,8 +247,6 @@ class MaxMinStarNetwork(NetworkModel):
     def _drain_done(self, task: FluidTask) -> None:
         self._finish(task.tag)
 
-    def _allocate(self, tasks: list[FluidTask]) -> None:
-        flows = [(t.tag.src, t.tag.dst) for t in tasks]
-        rates = maxmin_rates(flows, self.params.bandwidth)
-        for task, rate in zip(tasks, rates):
-            task.rate = rate
+
+class _FullMaxMinAllocator(FullRecomputeAllocator, IncrementalMaxMinAllocator):
+    """Full water-filling on every membership change (baseline)."""

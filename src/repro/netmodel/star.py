@@ -17,6 +17,11 @@ the unused fraction of the source's share is **not** redistributed to the
 source's other transfers.  The max-min variant lives in
 :mod:`repro.netmodel.maxmin` for ablation benches.
 
+Because there is no redistribution, an arriving or departing transfer can
+only change the rates of transfers sharing one of its two links — the dirty
+set is a single hop, no transitive cascade.
+:class:`IncrementalEqualShareAllocator` exploits exactly that.
+
 Latency is modelled as a fixed pre-drain delay of ``l`` (plus the per-object
 software overhead) during which the transfer occupies no bandwidth, after
 which ``s`` bytes drain through the fluid pool.
@@ -24,22 +29,116 @@ which ``s`` bytes drain through the fluid pool.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.des.fluid import FluidPool, FluidTask
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator, RateAllocator
 from repro.des.kernel import Kernel
 from repro.netmodel.base import NetworkModel, Transfer
 from repro.netmodel.params import NetworkParams
 
 
-class EqualShareStarNetwork(NetworkModel):
-    """Fluid star-topology network with per-node equal bandwidth sharing."""
+class IncrementalEqualShareAllocator(RateAllocator):
+    """Equal-share rates updated only for flows touching a changed node.
 
-    def __init__(self, kernel: Kernel, params: NetworkParams) -> None:
+    Maintains per-node sets of draining tasks; a membership change
+    recomputes rates only for tasks whose source shares the changed flow's
+    source node or whose destination shares its destination node.
+    """
+
+    def __init__(self, capacity: float, verify: bool = False) -> None:
+        super().__init__(verify=verify)
+        self.capacity = capacity
+        self._out_tasks: dict[int, set[FluidTask]] = {}
+        self._in_tasks: dict[int, set[FluidTask]] = {}
+
+    # ---------------------------------------------------------------- helpers
+    def _rate(self, task: FluidTask) -> float:
+        transfer: Transfer = task.tag
+        out_share = self.capacity / len(self._out_tasks[transfer.src])
+        in_share = self.capacity / len(self._in_tasks[transfer.dst])
+        return min(out_share, in_share)
+
+    # ------------------------------------------------------------- allocator
+    def _full(self, tasks: list[FluidTask]) -> None:
+        # Rebuild the per-node indices from scratch: the full path must not
+        # depend on incremental bookkeeping being in sync.
+        self._out_tasks = {}
+        self._in_tasks = {}
+        for task in tasks:
+            transfer: Transfer = task.tag
+            self._out_tasks.setdefault(transfer.src, set()).add(task)
+            self._in_tasks.setdefault(transfer.dst, set()).add(task)
+        for task in tasks:
+            task.rate = self._rate(task)
+
+    def _update(
+        self,
+        tasks: list[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        dirty: set[FluidTask] = set()
+        for task in removed:
+            transfer: Transfer = task.tag
+            members = self._out_tasks.get(transfer.src)
+            if members is not None:
+                members.discard(task)
+                if not members:
+                    del self._out_tasks[transfer.src]
+            members = self._in_tasks.get(transfer.dst)
+            if members is not None:
+                members.discard(task)
+                if not members:
+                    del self._in_tasks[transfer.dst]
+            dirty.update(self._out_tasks.get(transfer.src, ()))
+            dirty.update(self._in_tasks.get(transfer.dst, ()))
+        for task in added:
+            transfer = task.tag
+            self._out_tasks.setdefault(transfer.src, set()).add(task)
+            self._in_tasks.setdefault(transfer.dst, set()).add(task)
+        for task in added:
+            transfer = task.tag
+            dirty.update(self._out_tasks[transfer.src])
+            dirty.update(self._in_tasks[transfer.dst])
+        # A task removed later in the batch may have entered ``dirty`` as a
+        # neighbour of an earlier removal; it holds no rate any more.
+        dirty.difference_update(removed)
+        self.stats.rates_computed += len(dirty)
+        for task in dirty:
+            task.rate = self._rate(task)
+
+
+class _FullEqualShareAllocator(FullRecomputeAllocator, IncrementalEqualShareAllocator):
+    """Full recomputation on every membership change (baseline)."""
+
+
+class EqualShareStarNetwork(NetworkModel):
+    """Fluid star-topology network with per-node equal bandwidth sharing.
+
+    ``incremental=False`` restores full recomputation on every membership
+    change; ``verify_incremental=True`` shadows incremental updates with a
+    full recompute and raises on divergence.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: NetworkParams,
+        incremental: bool = True,
+        verify_incremental: bool = False,
+    ) -> None:
         super().__init__(kernel, params)
-        self._pool = FluidPool(kernel, self._allocate, name="star-network")
+        allocator_cls = (
+            IncrementalEqualShareAllocator if incremental else _FullEqualShareAllocator
+        )
+        self.allocator = allocator_cls(params.bandwidth, verify=verify_incremental)
+        self._pool = FluidPool(kernel, self.allocator, name="star-network")
         # Draining-transfer counts per node (latency-phase transfers are
-        # tracked by the base class but hold no bandwidth).
+        # tracked by the base class but hold no bandwidth).  Kept here, not
+        # derived from the allocator index: the index is pruned at the next
+        # allocator update, which runs *after* completion callbacks, while
+        # these counts must already exclude the finished transfer inside
+        # its own callback.
         self._drain_out: dict[int, int] = {}
         self._drain_in: dict[int, int] = {}
 
@@ -62,15 +161,6 @@ class EqualShareStarNetwork(NetworkModel):
         self._drain_out[transfer.src] -= 1
         self._drain_in[transfer.dst] -= 1
         self._finish(transfer)
-
-    # ------------------------------------------------------------ allocator
-    def _allocate(self, tasks: list[FluidTask]) -> None:
-        bandwidth = self.params.bandwidth
-        for task in tasks:
-            transfer: Transfer = task.tag
-            out_share = bandwidth / self._drain_out[transfer.src]
-            in_share = bandwidth / self._drain_in[transfer.dst]
-            task.rate = min(out_share, in_share)
 
     # ------------------------------------------------------------- metrics
     def draining_outgoing(self, node: int) -> int:

@@ -1,0 +1,67 @@
+"""Parallel sweep runner: serial/parallel equality, calibration cache."""
+
+import pytest
+
+from repro.analysis.parallel import (
+    ParallelSweepRunner,
+    cached_platform,
+    clear_platform_cache,
+    platform_key,
+)
+from repro.analysis.prediction import PredictionStudy
+from repro.analysis.sweep import SweepCase, sweep
+from repro.apps.lu.config import LUConfig
+from repro.errors import ConfigurationError
+from repro.sim.modes import SimulationMode
+
+
+def _cases():
+    cfgs = [
+        LUConfig(n=192, r=48, num_threads=4, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC),
+        LUConfig(n=192, r=96, num_threads=4, num_nodes=2, mode=SimulationMode.PDEXEC_NOALLOC),
+        LUConfig(n=192, r=48, num_threads=4, num_nodes=4, mode=SimulationMode.PDEXEC_NOALLOC),
+    ]
+    return [SweepCase(f"c{i}", cfg, seed=1) for i, cfg in enumerate(cfgs)]
+
+
+def test_parallel_sweep_equals_serial_case_for_case():
+    cases = _cases()
+    serial = sweep(cases)
+    parallel = sweep(cases, jobs=2)
+    assert len(serial) == len(parallel) == len(cases)
+    for ser, par in zip(serial, parallel):
+        assert ser.case.label == par.case.label
+        assert par.measured == pytest.approx(ser.measured, rel=1e-12)
+        assert par.predicted == pytest.approx(ser.predicted, rel=1e-12)
+
+
+def test_parallel_runner_feeds_study_in_case_order():
+    cases = _cases()
+    study = PredictionStudy()
+    results = ParallelSweepRunner(jobs=2).run(cases, study=study)
+    assert [r.case.label for r in results] == [c.label for c in cases]
+    assert [rec.label for rec in study.records] == [c.label for c in cases]
+
+
+def test_platform_cache_is_memoized():
+    clear_platform_cache()
+    case = _cases()[0]
+    key = platform_key(case)
+    first = cached_platform(key)
+    assert cached_platform(key) is first
+
+
+def test_jobs_one_runs_in_process():
+    cases = _cases()[:1]
+    results = ParallelSweepRunner(jobs=1).run(cases)
+    assert len(results) == 1
+    assert results[0].measured > 0
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(ConfigurationError):
+        ParallelSweepRunner(jobs=-1)
+
+
+def test_empty_case_list():
+    assert ParallelSweepRunner(jobs=2).run([]) == []

@@ -78,7 +78,7 @@ def test_parser_requires_command():
 
 @pytest.mark.parametrize(
     "command",
-    ["lu", "stencil", "sort", "matmul", "efficiency", "calibrate", "graph"],
+    ["lu", "stencil", "sort", "matmul", "efficiency", "calibrate", "graph", "sweep"],
 )
 def test_all_commands_registered(command):
     parser = build_parser()
@@ -171,6 +171,23 @@ def test_efficiency_table(capsys):
     assert "dynamic efficiency" in out
     assert "iter1" in out
     assert "whole-run efficiency" in out
+
+
+def test_sweep_serial(capsys):
+    code = main([
+        "sweep", "--n", "192", "--r", "48,96", "--nodes", "2", "--jobs", "1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "LU validation sweep" in out
+    assert "r=48,nodes=2" in out and "r=96,nodes=2" in out
+    assert "max abs prediction error" in out
+
+
+def test_sweep_bad_r_list(capsys):
+    code = main(["sweep", "--r", "48,oops"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_calibrate_star_matches_parameters(capsys):

@@ -88,3 +88,88 @@ def test_running_steps_counter(kernel):
     assert cpu.running_steps(0) == 2
     kernel.run()
     assert cpu.running_steps(0) == 0
+
+
+def _coupled_workload(kernel, incremental, verify=False):
+    """Compute steps on several nodes overlapping a transfer storm."""
+    params = CommCostParams(
+        recv_fraction=0.1, send_fraction=0.2, marginal_decay=0.7, max_fraction=0.9
+    )
+    net = EqualShareStarNetwork(
+        kernel, NetworkParams(latency=0.0, bandwidth=1e6), incremental=incremental
+    )
+    cpu = SharedCpuModel(
+        kernel,
+        CommCostModel(params),
+        incremental=incremental,
+        verify_incremental=verify,
+    )
+    cpu.attach_network(net)
+    done = {}
+    for i, (node, work) in enumerate(
+        [(0, 1.0), (0, 2.0), (1, 0.5), (1, 1.5), (2, 1.0), (3, 0.25)]
+    ):
+        cpu.submit(node, work, lambda h, i=i: done.setdefault(i, kernel.now))
+    for j, (src, dst, size) in enumerate(
+        [(0, 1, 1e6), (0, 2, 5e5), (1, 3, 2e6), (2, 0, 1e6), (3, 1, 7e5)]
+    ):
+        kernel.schedule(0.1 * j, net.submit, src, dst, size, lambda tr: None)
+    kernel.run()
+    return done, cpu
+
+
+def test_incremental_cpu_matches_full_shadow(kernel):
+    """verify_incremental=True shadows every update/refresh with a full
+    recompute and raises on divergence."""
+    done, cpu = _coupled_workload(kernel, incremental=True, verify=True)
+    assert len(done) == 6
+    assert cpu.allocator.stats.incremental_updates > 0
+    assert cpu.allocator.stats.refreshes > 0
+
+
+def test_incremental_cpu_end_to_end_equivalence():
+    """Completion times agree between incremental and full allocation."""
+    k1, k2 = Kernel(), Kernel()
+    inc_done, _ = _coupled_workload(k1, incremental=True)
+    full_done, _ = _coupled_workload(k2, incremental=False)
+    assert inc_done.keys() == full_done.keys()
+    for key in inc_done:
+        assert inc_done[key] == pytest.approx(full_done[key], rel=1e-9)
+
+
+def test_verify_mode_survives_submit_from_transfer_callback(kernel):
+    """Regression: a transfer-completion callback that submits CPU work on
+    the transfer's node runs before the network's change notification, so
+    the allocator must not trust its cached node power there — the verify
+    shadow (which recomputes power fresh) used to diverge and raise."""
+    params = CommCostParams(
+        recv_fraction=0.1, send_fraction=0.2, marginal_decay=1.0, max_fraction=0.9
+    )
+    net = EqualShareStarNetwork(kernel, NetworkParams(latency=0.0, bandwidth=1e6))
+    cpu = SharedCpuModel(
+        kernel, CommCostModel(params), verify_incremental=True
+    )
+    cpu.attach_network(net)
+    done = {}
+    cpu.submit(0, 1.0, lambda h: done.setdefault("first", kernel.now))
+    net.submit(
+        0, 1, 1e6,
+        lambda tr: cpu.submit(0, 0.5, lambda h: done.setdefault("second", kernel.now)),
+    )
+    kernel.run()
+    assert "first" in done and "second" in done
+
+
+def test_network_refresh_only_touches_changed_nodes(kernel):
+    """A transfer between nodes 0 and 1 must not re-rate steps on node 5."""
+    net = EqualShareStarNetwork(kernel, NetworkParams(latency=0.0, bandwidth=1e6))
+    cpu = SharedCpuModel(kernel)
+    cpu.attach_network(net)
+    cpu.submit(5, 10.0, lambda h: None)
+    baseline = cpu.allocator.stats.rates_computed
+    net.submit(0, 1, 1e6, lambda tr: None)
+    # The refresh ran (listener fired) but node 5's power is unchanged and
+    # nodes 0/1 run no steps, so no rates were recomputed.
+    assert cpu.allocator.stats.refreshes >= 1
+    assert cpu.allocator.stats.rates_computed == baseline
+    kernel.run()

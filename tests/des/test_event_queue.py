@@ -45,6 +45,65 @@ def test_cancel_is_idempotent():
     assert len(q) == 0
 
 
+def test_direct_handle_cancel_updates_live_count():
+    """Regression: ``EventHandle.cancel()`` called directly (not via
+    ``EventQueue.cancel``) used to leave the queue's live count stale, so
+    ``len(queue)``/``bool(queue)`` drifted and ``Kernel.pending_events``
+    over-reported."""
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    h1.cancel()
+    assert len(q) == 1
+    assert bool(q)
+    assert q.pop().time == 2.0
+    assert len(q) == 0
+    assert not q
+
+
+def test_direct_handle_cancel_is_idempotent():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    q.cancel(h)
+    assert len(q) == 0
+
+
+def test_mixed_cancel_paths_agree():
+    """Cancelling via the handle then the queue (or vice versa) must only
+    decrement the live count once."""
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    h2 = q.push(2.0, lambda: None)
+    q.push(3.0, lambda: None)
+    h1.cancel()
+    q.cancel(h1)
+    q.cancel(h2)
+    h2.cancel()
+    assert len(q) == 1
+
+
+def test_cancel_after_pop_does_not_corrupt_count():
+    """A handle that already executed is detached; a late cancel must not
+    decrement the live count of unrelated events."""
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.pop() is h
+    h.cancel()
+    q.cancel(h)
+    assert len(q) == 1
+
+
+def test_cancel_after_clear_is_noop():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.clear()
+    h.cancel()
+    assert len(q) == 0
+
+
 def test_peek_time_skips_cancelled():
     q = EventQueue()
     h = q.push(1.0, lambda: None)

@@ -110,6 +110,35 @@ def test_double_admission_rejected(kernel):
         pool.add(task)
 
 
+def test_immediate_completion_credits_completed_work(kernel):
+    """Regression: tasks drained on admission (tiny-but-positive work below
+    the completion tolerance) never credited ``completed_work``, breaking
+    the conservation invariant the class docstring promises."""
+    pool = FluidPool(kernel, equal_share(1.0))
+    tiny = 1e-13  # below the absolute completion tolerance
+    done = []
+    pool.add(FluidTask(tiny, lambda t: done.append(t)))
+    assert done and done[0].remaining == 0.0
+    assert pool.completed_tasks == 1
+    assert pool.completed_work == pytest.approx(tiny)
+    # Zero-work tasks stay consistent too (credit zero, count one).
+    pool.add(FluidTask(0.0, lambda t: None))
+    assert pool.completed_tasks == 2
+    assert pool.completed_work == pytest.approx(tiny)
+
+
+def test_conservation_with_immediate_completions(kernel):
+    """completed_work must equal the sum of all admitted work, whether
+    tasks drained through the pool or completed on admission."""
+    pool = FluidPool(kernel, equal_share(1.0))
+    works = [1.0, 1e-13, 2.5, 0.0, 3e-13]
+    for w in works:
+        pool.add(FluidTask(w, lambda t: None))
+    kernel.run()
+    assert pool.completed_tasks == len(works)
+    assert pool.completed_work == pytest.approx(sum(works))
+
+
 def test_completion_accounting(kernel):
     pool = FluidPool(kernel, equal_share(1.0))
     for w in (1.0, 2.0, 3.0):

@@ -43,6 +43,47 @@ def test_asymmetric_bottleneck_redistributes():
     assert rates[3] == pytest.approx(8.0)
 
 
+def test_float_drift_never_yields_negative_rates():
+    """Regression: repeated residual-capacity subtraction drifted a few
+    ulps below zero (observed: -5.6e-16 on this exact case), which could
+    later surface as a negative fair share and trip the fluid pool's
+    invalid-rate guard.  The residual is now clamped at zero."""
+    flows = [
+        (2, 0), (5, 0), (5, 0), (1, 3), (3, 0), (1, 2),
+        (0, 4), (3, 0), (1, 0), (4, 0), (5, 2),
+    ]
+    capacity = 3.3
+    rates = maxmin_rates(flows, capacity)
+    assert all(r >= 0.0 for r in rates)
+    # Feasibility still holds with the clamp in place.
+    out_load: dict[int, float] = {}
+    in_load: dict[int, float] = {}
+    for (src, dst), rate in zip(flows, rates):
+        out_load[src] = out_load.get(src, 0.0) + rate
+        in_load[dst] = in_load.get(dst, 0.0) + rate
+    for load in list(out_load.values()) + list(in_load.values()):
+        assert load <= capacity * (1 + 1e-9)
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ).filter(lambda t: t[0] != t[1]),
+        min_size=1,
+        max_size=25,
+    ),
+    st.sampled_from([0.1, 0.3, 1 / 3, 1 / 7, 1 / 11, 2.3, 3.3]),
+)
+def test_awkward_capacities_stay_feasible_and_non_negative(flows, capacity):
+    """The clamp plus the per-link invariant check hold for capacities
+    whose fair shares are not exactly representable."""
+    rates = maxmin_rates(flows, capacity)  # invariant check runs inside
+    assert all(r >= 0.0 for r in rates)
+
+
 flows_strategy = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)

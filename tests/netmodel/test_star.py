@@ -99,14 +99,30 @@ def test_self_transfer_rejected(kernel):
 def test_concurrency_counters_and_listener(kernel):
     net = make(kernel, bandwidth=1e6)
     changes = []
-    net.add_listener(lambda: changes.append(net.active_transfers()))
+    net.add_listener(
+        lambda nodes: changes.append((net.active_transfers(), nodes))
+    )
     net.submit(0, 1, 1e6, lambda tr: None)
     assert net.concurrent_outgoing(0) == 1
     assert net.concurrent_incoming(1) == 1
     kernel.run()
     assert net.concurrent_outgoing(0) == 0
     assert net.completed_transfers == 1
-    assert changes[0] == 1 and changes[-1] == 0
+    assert changes[0] == (1, (0, 1)) and changes[-1] == (0, (0, 1))
+
+
+def test_draining_counts_updated_before_completion_callback(kernel):
+    """Inside a transfer's completion callback the finished transfer must
+    no longer be counted as draining (pre-incremental-engine semantics)."""
+    net = make(kernel, bandwidth=1e6)
+    seen = []
+    net.submit(
+        0, 1, 1e6,
+        lambda tr: seen.append((net.draining_outgoing(0), net.draining_incoming(1))),
+    )
+    assert net.draining_outgoing(0) == 1
+    kernel.run()
+    assert seen == [(0, 0)]
 
 
 def test_transfer_records_times(kernel):
