@@ -31,6 +31,9 @@ from repro.testbed.cluster import VirtualCluster
 PlatformKey = tuple[int, int]
 
 #: Process-wide memoized calibrations, shared by serial and parallel runs.
+#: Backed by the on-disk cache of :mod:`repro.analysis.calibcache`, so the
+#: memo survives process boundaries: a repeated CLI invocation hits disk
+#: instead of recalibrating.
 _PLATFORM_CACHE: dict[PlatformKey, PlatformSpec] = {}
 
 

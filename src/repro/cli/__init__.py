@@ -9,6 +9,7 @@ Commands
 * ``calibrate`` — characterize a network model's latency and bandwidth.
 * ``sweep`` — measured-vs-predicted validation sweep; ``--jobs`` runs the
   independent cases on a process pool with a shared calibration cache.
+* ``cache`` — manage the on-disk calibration cache (``clear`` / ``info``).
 * ``graph`` — dump an application's flow-graph structure.
 * ``server`` — cluster-level scheduling of malleable jobs (paper §9).
 """
@@ -27,6 +28,7 @@ from repro.cli.apps import (
 )
 from repro.cli.server import add_server_parser
 from repro.cli.tools import (
+    add_cache_parser,
     add_calibrate_parser,
     add_efficiency_parser,
     add_graph_parser,
@@ -52,6 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_efficiency_parser(sub)
     add_calibrate_parser(sub)
     add_sweep_parser(sub)
+    add_cache_parser(sub)
     add_graph_parser(sub)
     add_server_parser(sub)
     return parser

@@ -73,6 +73,60 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------
+# cache
+# --------------------------------------------------------------------------
+
+
+def add_cache_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``cache`` subcommand."""
+    p = sub.add_parser(
+        "cache",
+        help="manage the on-disk calibration cache",
+        description=(
+            "Platform calibrations are persisted under a user-cache "
+            "directory (REPRO_CACHE_DIR, else ~/.cache/repro-schaeli06) so "
+            "repeated invocations skip the characterization experiment."
+        ),
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    clear_p = cache_sub.add_parser(
+        "clear", help="delete every cached calibration"
+    )
+    clear_p.set_defaults(func=cmd_cache_clear)
+    info_p = cache_sub.add_parser(
+        "info", help="show the cache location and its entries"
+    )
+    info_p.set_defaults(func=cmd_cache_info)
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    """Delete every cached calibration entry."""
+    from repro.analysis import calibcache
+
+    removed = calibcache.clear()
+    print(f"removed {removed} cached calibration(s) from {calibcache.cache_dir()}")
+    return 0
+
+
+def cmd_cache_info(args: argparse.Namespace) -> int:
+    """Show the calibration cache location and its entries."""
+    from repro.analysis import calibcache
+
+    entries = calibcache.entries()
+    print(f"cache directory : {calibcache.cache_dir()}")
+    print(f"entries         : {len(entries)}")
+    for path in entries:
+        try:
+            size = f"{path.stat().st_size} B"
+        except OSError:
+            # Raced with a concurrent clear/rewrite; the cache promises
+            # that concurrent access is harmless.
+            size = "?"
+        print(f"  {path.name}  ({size})")
+    return 0
+
+
+# --------------------------------------------------------------------------
 # efficiency
 # --------------------------------------------------------------------------
 

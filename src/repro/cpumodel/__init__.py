@@ -25,7 +25,7 @@ from repro.cpumodel.machines import (
     MODERN_XEON,
 )
 from repro.cpumodel.commcost import CommCostModel, CommCostParams
-from repro.cpumodel.base import CpuModel, CpuTaskHandle
+from repro.cpumodel.base import CpuModel, CpuTaskHandle, NodeSlicedAllocator
 from repro.cpumodel.shared import SharedCpuModel
 from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
 
@@ -38,6 +38,7 @@ __all__ = [
     "CommCostParams",
     "CpuModel",
     "CpuTaskHandle",
+    "NodeSlicedAllocator",
     "SharedCpuModel",
     "TimesliceCpuModel",
     "TimesliceParams",

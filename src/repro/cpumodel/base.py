@@ -4,15 +4,23 @@ A CPU model executes *compute atomic steps*: quantities of work expressed in
 seconds-at-full-dedicated-power on the node's machine profile.  The model
 decides how long a step really takes given everything else running on the
 node (other operations, communication handling).
+
+This module also hosts :class:`NodeSlicedAllocator`, the shared incremental
+rate-allocation machinery for CPU models (see the allocator protocol in
+:mod:`repro.des.fluid`): steps on one host form a *slice group* whose rates
+depend only on that host's available power and group size, so membership
+changes re-rate one group and network refreshes re-rate only groups whose
+cached power actually moved.  Concrete models subclass it and implement
+only the per-group rate law.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Collection, Optional, Sequence
 
 from repro.cpumodel.commcost import CommCostModel
-from repro.des.fluid import FluidTask
+from repro.des.fluid import FluidTask, RateAllocator, pool_horizon_stats
 from repro.des.kernel import Kernel
 from repro.netmodel.base import NetworkModel
 
@@ -57,6 +65,11 @@ class CpuModel(ABC):
         self.network = network
         network.add_listener(self._on_network_change)
 
+    @property
+    def horizon_stats(self):
+        """Completion-horizon counters of the backing pool (None if none)."""
+        return pool_horizon_stats(self)
+
     # ------------------------------------------------------------ subclass
     @abstractmethod
     def submit(
@@ -92,3 +105,106 @@ class CpuModel(ABC):
 
     def _record_completion(self, node: int, work: float) -> None:
         self.completed_work[node] = self.completed_work.get(node, 0.0) + work
+
+
+# --------------------------------------------------------------------------
+# shared incremental-allocator machinery (per-host slice groups)
+# --------------------------------------------------------------------------
+
+
+class NodeSlicedAllocator(RateAllocator):
+    """Per-host slice groups with cached available power.
+
+    Every step on host ``i`` receives the same rate, a function of the
+    host's available power and the number of resident steps only — so a
+    membership change re-rates exactly the changed hosts' groups, and a
+    network refresh re-rates only hosts whose cached power actually moved
+    (the network passes the changed nodes as the ``hint``).  Subclasses
+    implement :meth:`_group_rate` — the per-step rate law.
+
+    Group membership uses insertion-ordered dicts (dict-as-set) so that
+    iteration order — and with it any float accumulation a subclass might
+    add — stays identical between runs regardless of hash seeds.
+    """
+
+    def __init__(self, model: "CpuModel", verify: bool = False) -> None:
+        super().__init__(verify=verify)
+        self._model = model
+        self._node_tasks: dict[int, dict[FluidTask, None]] = {}
+        self._power: dict[int, float] = {}
+
+    # ---------------------------------------------------------------- hooks
+    def _group_rate(self, power: float, resident: int) -> float:
+        """Rate of each step on a host with ``resident`` runnable steps."""
+        raise NotImplementedError
+
+    def _node_of(self, task: FluidTask) -> int:
+        """Host id of a step (``CpuTaskHandle`` tags by default)."""
+        return task.tag.node
+
+    # -------------------------------------------------------------- helpers
+    def _rerate_node(self, node: int) -> int:
+        """Assign rates on ``node``; returns the number of steps touched."""
+        steps = self._node_tasks.get(node)
+        if not steps:
+            self._power.pop(node, None)
+            return 0
+        power = self._power.get(node)
+        if power is None:
+            power = self._model._node_power(node)
+            self._power[node] = power
+        rate = self._group_rate(power, len(steps))
+        for task in steps:
+            task.rate = rate
+        return len(steps)
+
+    # ------------------------------------------------------------- allocator
+    def _full(self, tasks: Collection[FluidTask]) -> None:
+        # Rebuild the index and power cache from scratch: the full path must
+        # not depend on incremental bookkeeping being in sync.
+        self._node_tasks = {}
+        for task in tasks:
+            self._node_tasks.setdefault(self._node_of(task), {})[task] = None
+        self._power = {
+            node: self._model._node_power(node) for node in self._node_tasks
+        }
+        for node in self._node_tasks:
+            self._rerate_node(node)
+
+    def _update(
+        self,
+        tasks: Collection[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        dirty_nodes: dict[int, None] = {}
+        for task in removed:
+            node = self._node_of(task)
+            members = self._node_tasks.get(node)
+            if members is not None:
+                members.pop(task, None)
+                if not members:
+                    del self._node_tasks[node]
+            dirty_nodes[node] = None
+        for task in added:
+            node = self._node_of(task)
+            self._node_tasks.setdefault(node, {})[task] = None
+            dirty_nodes[node] = None
+        for node in dirty_nodes:
+            # Recompute the node's power rather than trusting the cache: a
+            # transfer-completion callback can submit work before the
+            # network's change notification arrives, and the cached power
+            # would be stale for that window.
+            self._power.pop(node, None)
+            self.stats.rates_computed += self._rerate_node(node)
+
+    def _refresh(self, tasks: Collection[FluidTask], hint: Any = None) -> None:
+        nodes = list(self._node_tasks) if hint is None else list(hint)
+        for node in nodes:
+            if node not in self._node_tasks:
+                self._power.pop(node, None)
+                continue
+            power = self._model._node_power(node)
+            if power != self._power.get(node):
+                self._power[node] = power
+                self.stats.rates_computed += self._rerate_node(node)

@@ -18,101 +18,33 @@ Rates are maintained *incrementally*: a step arriving or departing on node
 ``i`` can only change the rates of the other steps on node ``i``, and a
 network change only re-rates steps on the nodes whose transfer counts
 actually changed (the network passes those nodes along with its
-notification).  Steps on untouched nodes keep their rates.
+notification).  Steps on untouched nodes keep their rates.  The slice-group
+and power-cache machinery lives in
+:class:`~repro.cpumodel.base.NodeSlicedAllocator`; this module contributes
+only the even-share law.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Optional
 
-from repro.cpumodel.base import CompletionCallback, CpuModel, CpuTaskHandle
+from repro.cpumodel.base import (
+    CompletionCallback,
+    CpuModel,
+    CpuTaskHandle,
+    NodeSlicedAllocator,
+)
 from repro.cpumodel.commcost import CommCostModel
-from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator, RateAllocator
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
 from repro.errors import SimulationError
 
 
-class IncrementalSharedCpuAllocator(RateAllocator):
-    """Even-share CPU rates, recomputed only for nodes that changed.
+class IncrementalSharedCpuAllocator(NodeSlicedAllocator):
+    """Even-share CPU rates, recomputed only for nodes that changed."""
 
-    Maintains a node → running-steps index plus a cache of each node's
-    available power; membership changes re-rate only the changed nodes'
-    steps, and network refreshes re-rate only nodes whose cached power
-    actually moved.
-    """
-
-    def __init__(self, model: "SharedCpuModel", verify: bool = False) -> None:
-        super().__init__(verify=verify)
-        self._model = model
-        self._node_tasks: dict[int, set[FluidTask]] = {}
-        self._power: dict[int, float] = {}
-
-    # ---------------------------------------------------------------- helpers
-    def _rerate_node(self, node: int) -> int:
-        """Assign rates on ``node``; returns the number of steps touched."""
-        steps = self._node_tasks.get(node)
-        if not steps:
-            self._power.pop(node, None)
-            return 0
-        power = self._power.get(node)
-        if power is None:
-            power = self._model._node_power(node)
-            self._power[node] = power
-        rate = power / len(steps)
-        for task in steps:
-            task.rate = rate
-        return len(steps)
-
-    # ------------------------------------------------------------- allocator
-    def _full(self, tasks: list[FluidTask]) -> None:
-        # Rebuild the index and power cache from scratch: the full path must
-        # not depend on incremental bookkeeping being in sync.
-        self._node_tasks = {}
-        for task in tasks:
-            self._node_tasks.setdefault(task.tag.node, set()).add(task)
-        self._power = {
-            node: self._model._node_power(node) for node in self._node_tasks
-        }
-        for node in self._node_tasks:
-            self._rerate_node(node)
-
-    def _update(
-        self,
-        tasks: list[FluidTask],
-        added: Sequence[FluidTask],
-        removed: Sequence[FluidTask],
-    ) -> None:
-        dirty_nodes: set[int] = set()
-        for task in removed:
-            node = task.tag.node
-            members = self._node_tasks.get(node)
-            if members is not None:
-                members.discard(task)
-                if not members:
-                    del self._node_tasks[node]
-            dirty_nodes.add(node)
-        for task in added:
-            node = task.tag.node
-            self._node_tasks.setdefault(node, set()).add(task)
-            dirty_nodes.add(node)
-        for node in dirty_nodes:
-            # Recompute the node's power rather than trusting the cache: a
-            # transfer-completion callback can submit work before the
-            # network's change notification arrives, and the cached power
-            # would be stale for that window.
-            self._power.pop(node, None)
-            self.stats.rates_computed += self._rerate_node(node)
-
-    def _refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
-        nodes = list(self._node_tasks) if hint is None else list(hint)
-        for node in nodes:
-            if node not in self._node_tasks:
-                self._power.pop(node, None)
-                continue
-            power = self._model._node_power(node)
-            if power != self._power.get(node):
-                self._power[node] = power
-                self.stats.rates_computed += self._rerate_node(node)
+    def _group_rate(self, power: float, resident: int) -> float:
+        return power / resident
 
 
 class SharedCpuModel(CpuModel):

@@ -14,16 +14,27 @@ model:
   slightly different (convex) law than the simulator's concave one;
 * **seeded OS noise** — every step's total work is inflated by a
   multiplicative lognormal factor, sampled once per step.
+
+Rate allocation is *incremental* by default: the overheadful rate of a step
+still depends only on its own host's available power and slice-group size,
+so the per-host machinery of
+:class:`~repro.cpumodel.base.NodeSlicedAllocator` applies unchanged — this
+module contributes only the degraded rate law.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
-from repro.cpumodel.base import CompletionCallback, CpuModel, CpuTaskHandle
+from repro.cpumodel.base import (
+    CompletionCallback,
+    CpuModel,
+    CpuTaskHandle,
+    NodeSlicedAllocator,
+)
 from repro.cpumodel.commcost import CommCostModel, CommCostParams
-from repro.des.fluid import FluidPool, FluidTask
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
 from repro.errors import SimulationError
 from repro.util.rng import SeedSequenceFactory
@@ -70,20 +81,54 @@ class _ConvexCommCost(CommCostModel):
         return min(self.params.max_fraction, base)
 
 
+class IncrementalTimesliceAllocator(NodeSlicedAllocator):
+    """Overhead-degraded slice rates, recomputed only for changed hosts."""
+
+    def __init__(
+        self,
+        model: "TimesliceCpuModel",
+        csw_overhead: float,
+        verify: bool = False,
+    ) -> None:
+        super().__init__(model, verify=verify)
+        self._csw_overhead = csw_overhead
+
+    def _group_rate(self, power: float, resident: int) -> float:
+        degraded = power / (1.0 + self._csw_overhead * (resident - 1))
+        return degraded / resident
+
+
+class _FullTimesliceAllocator(FullRecomputeAllocator, IncrementalTimesliceAllocator):
+    """Full recomputation on every change (baseline)."""
+
+
 class TimesliceCpuModel(CpuModel):
-    """Noisy, overhead-laden CPU model used as ground truth by the testbed."""
+    """Noisy, overhead-laden CPU model used as ground truth by the testbed.
+
+    ``incremental=False`` restores the full recompute-everything allocator;
+    ``verify_incremental=True`` shadows every incremental update with a full
+    recompute and raises on divergence.
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         params: TimesliceParams | None = None,
         seed: int = 0,
+        incremental: bool = True,
+        verify_incremental: bool = False,
     ) -> None:
         ts = params or TimesliceParams()
         super().__init__(kernel, _ConvexCommCost(ts))
         self.params = ts
         self._rng = SeedSequenceFactory(seed).rng("timeslice-cpu")
-        self._pool = FluidPool(kernel, self._allocate, name="timeslice-cpu")
+        allocator_cls = (
+            IncrementalTimesliceAllocator if incremental else _FullTimesliceAllocator
+        )
+        self.allocator = allocator_cls(
+            self, ts.csw_overhead, verify=verify_incremental
+        )
+        self._pool = FluidPool(kernel, self.allocator, name="timeslice-cpu")
         self._running: dict[int, int] = {}
 
     # ----------------------------------------------------------------- api
@@ -118,17 +163,5 @@ class TimesliceCpuModel(CpuModel):
         self._record_completion(handle.node, handle.work)
         handle.on_complete(handle)
 
-    def _allocate(self, tasks: list[FluidTask]) -> None:
-        power_cache: dict[int, float] = {}
-        count_cache: dict[int, int] = {}
-        for task in tasks:
-            node = task.tag.node
-            if node not in power_cache:
-                power_cache[node] = self._node_power(node)
-                count_cache[node] = self._running[node]
-            n = count_cache[node]
-            degraded = power_cache[node] / (1.0 + self.params.csw_overhead * (n - 1))
-            task.rate = degraded / n
-
-    def _on_network_change(self, nodes=None) -> None:
-        self._pool.reallocate()
+    def _on_network_change(self, nodes: Optional[tuple[int, ...]] = None) -> None:
+        self._pool.reallocate(hint=nodes)

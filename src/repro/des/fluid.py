@@ -17,20 +17,20 @@ This is event-driven exact integration of piecewise-linear progress — no
 time-stepping, which keeps large simulations cheap (the optimization guide's
 "compute less" rule).
 
-Incremental allocation contract
--------------------------------
+The allocator protocol (dirty-set contract)
+-------------------------------------------
 
 Allocators come in two flavours:
 
 * a plain callable ``allocate(tasks)`` — the pool invokes it with the full
-  task list on every membership change (full recompute);
+  task collection on every membership change (full recompute);
 * a :class:`RateAllocator` object — the pool additionally tracks the *dirty
   set* of tasks added and removed since the last rate assignment and hands
   it to :meth:`RateAllocator.update`, so the allocator may recompute rates
   only for the tasks whose rates can actually have changed (e.g. flows
   sharing a link — directly or transitively — with the changed flow).
 
-The contract for an incremental allocator is:
+The contract an incremental allocator must implement:
 
 * after ``update(tasks, added, removed)`` returns, every task in ``tasks``
   carries the same rate a full :meth:`RateAllocator.allocate` would assign
@@ -40,21 +40,55 @@ The contract for an incremental allocator is:
 * :meth:`RateAllocator.refresh` handles *external* invalidations (e.g. the
   CPU model's coupling to network activity) and may use the ``hint``
   argument to bound the recomputation;
+* the full path (:meth:`RateAllocator._full`) must rebuild any internal
+  index from scratch — it must never depend on the incremental bookkeeping
+  being in sync, because verify mode and fallbacks run it mid-stream;
 * construction with ``verify=True`` enables the exact-equivalence mode:
   every incremental update is shadowed by a full recomputation and any
   disagreement beyond ``VERIFY_RTOL`` raises — the mode the equivalence
   test-suite runs under.
 
-:class:`AllocatorStats` counts full recomputations, incremental updates and
-per-task rate assignments, which ``benchmarks/bench_allocator_scaling.py``
-uses to demonstrate sub-linear allocator work per membership change.
+Shared implementations of the two dirty-set geometries live next to the
+models: :class:`repro.netmodel.base.StarFlowAllocator` (per-node indices,
+single-hop dirty sets) and :class:`repro.netmodel.base.LinkComponentAllocator`
+(link→flow index, BFS over connected components, cascade fallback) for
+networks, and :class:`repro.cpumodel.base.NodeSlicedAllocator` (per-host
+slice groups with cached available power) for CPU models.  New models
+should subclass one of those rather than re-implementing the bookkeeping.
+
+Sub-linear completion horizon
+-----------------------------
+
+The pool does **not** scan tasks to find the next completion.  Progress is
+integrated lazily — each task records the remaining work and the timestamp
+at which it was last synced, and the true remaining work is derived on
+demand from the current rate — and completion times are indexed in a lazy
+min-heap:
+
+* assigning a task a new rate (via the ``task.rate`` setter) syncs its
+  progress under the old rate and invalidates its heap entry;
+* after the allocator runs, the pool pushes one fresh entry per re-rated
+  task (``O(dirty · log n)``) and schedules the kernel event at the heap
+  top;
+* stale entries are discarded lazily when they surface at the top.
+
+Together with an incremental allocator this makes the per-event cost of the
+whole hot loop ``O(dirty · log n)`` instead of ``O(n)``.
+:class:`HorizonStats` counts the real heap work plus the hypothetical cost
+of the pre-heap linear scan, which ``benchmarks/bench_allocator_scaling.py``
+uses to demonstrate the gap.
+
+:class:`AllocatorStats` counts full recomputations, incremental updates,
+full-recompute *fallbacks* (e.g. max-min cascades past the threshold),
+verify-mode shadow recomputes, and per-task rate assignments.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Collection, Optional, Sequence, Union
 
 from repro.des.event_queue import EventHandle
 from repro.des.kernel import Kernel
@@ -81,9 +115,25 @@ class FluidTask:
         Callback invoked (with the task) when the work is fully drained.
     tag:
         Arbitrary payload for the allocator (e.g. source/destination node).
+
+    Progress is integrated lazily: ``_remaining`` holds the remaining work
+    as of ``_synced_at``; the :attr:`remaining` property derives the current
+    value from the rate, so the pool never has to touch untouched tasks.
     """
 
-    __slots__ = ("work", "remaining", "rate", "on_complete", "tag", "pool", "started_at", "finished_at")
+    __slots__ = (
+        "work",
+        "_remaining",
+        "_synced_at",
+        "_rate",
+        "_entry",
+        "_seq",
+        "on_complete",
+        "tag",
+        "pool",
+        "started_at",
+        "finished_at",
+    )
 
     def __init__(
         self,
@@ -94,13 +144,71 @@ class FluidTask:
         if work < 0.0 or not math.isfinite(work):
             raise SimulationError(f"task work must be finite and >= 0, got {work!r}")
         self.work = float(work)
-        self.remaining = float(work)
-        self.rate = 0.0
+        self._remaining = float(work)
+        self._synced_at = math.nan
+        self._rate = 0.0
+        #: id of this task's live horizon-heap entry (None = no entry)
+        self._entry: Optional[int] = None
+        #: pool admission order — the heap tie-breaker, so simultaneous
+        #: completions fire in the same deterministic order the pre-heap
+        #: linear scan produced
+        self._seq = 0
         self.on_complete = on_complete
         self.tag = tag
         self.pool: Optional["FluidPool"] = None
         self.started_at: float = math.nan
         self.finished_at: float = math.nan
+
+    # ------------------------------------------------------------- progress
+    @property
+    def remaining(self) -> float:
+        """Remaining work, lazily integrated to the pool's current time."""
+        if self.pool is not None and self._rate > 0.0:
+            dt = self.pool.kernel.now - self._synced_at
+            if dt > 0.0:
+                return max(0.0, self._remaining - self._rate * dt)
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        self._remaining = value
+        if self.pool is not None:
+            self._synced_at = self.pool.kernel.now
+            # The completion time encoded in the heap entry is now wrong.
+            self.pool._note_rated(self)
+
+    def _sync(self, now: float) -> None:
+        """Materialize the lazy progress integral at ``now``."""
+        if self._rate > 0.0:
+            dt = now - self._synced_at
+            if dt > 0.0:
+                self._remaining = max(0.0, self._remaining - self._rate * dt)
+        self._synced_at = now
+
+    @property
+    def rate(self) -> float:
+        """Current drain rate (pool units per second)."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        pool = self.pool
+        if pool is None:
+            self._rate = value
+            return
+        if not (math.isfinite(value) and value >= 0.0):
+            raise SimulationError(
+                f"pool {pool.name!r}: allocator set invalid rate {value!r}"
+            )
+        if value == self._rate and (value == 0.0 or self._entry is not None):
+            # Same rate with a live entry (or starved) → the existing heap
+            # state stays exact; nothing to invalidate.  A same-rate task
+            # *without* an entry (e.g. re-admitted after removal with its
+            # old rate still set) must still be indexed.
+            return
+        self._sync(pool.kernel.now)
+        self._rate = value
+        pool._note_rated(self)
 
     @property
     def active(self) -> bool:
@@ -120,17 +228,23 @@ class FluidTask:
 
 
 #: A legacy allocator receives the active tasks and sets ``task.rate`` on each.
-Allocator = Callable[[list[FluidTask]], None]
+Allocator = Callable[[Collection[FluidTask]], None]
 
 
 @dataclass
 class AllocatorStats:
     """Work counters for allocator benchmarking and regression tests."""
 
-    #: full recomputations over the whole task list
+    #: full recomputations over the whole task list (pool-requested)
     full_allocations: int = 0
     #: incremental (dirty-set-bounded) updates
     incremental_updates: int = 0
+    #: incremental updates that *fell back* to a real full recompute
+    #: (e.g. a max-min cascade past the threshold, or baseline mode)
+    full_fallbacks: int = 0
+    #: verify-mode shadow recomputes (diagnostics only — not real work the
+    #: production configuration would perform)
+    verify_recomputes: int = 0
     #: external-coupling refreshes
     refreshes: int = 0
     #: per-task rate assignments actually performed
@@ -139,8 +253,56 @@ class AllocatorStats:
     def reset(self) -> None:
         self.full_allocations = 0
         self.incremental_updates = 0
+        self.full_fallbacks = 0
+        self.verify_recomputes = 0
         self.refreshes = 0
         self.rates_computed = 0
+
+
+@dataclass
+class HorizonStats:
+    """Cost counters of the completion-horizon index.
+
+    ``scan_cost`` accumulates what the pre-heap implementation would have
+    paid: one pass over every active task at each rate assignment and at
+    each horizon event.  Comparing it with ``heap_pushes + heap_pops``
+    demonstrates the sub-linear hot loop.
+    """
+
+    #: horizon-heap entries pushed
+    heap_pushes: int = 0
+    #: horizon-heap entries popped (valid and stale)
+    heap_pops: int = 0
+    #: popped entries that were stale (invalidated by a rate change/removal)
+    stale_discards: int = 0
+    #: horizon events fired
+    events: int = 0
+    #: hypothetical cost of the O(n)-scan baseline over the same run
+    scan_cost: int = 0
+
+    @property
+    def heap_ops(self) -> int:
+        """Total real horizon work (pushes + pops)."""
+        return self.heap_pushes + self.heap_pops
+
+    def reset(self) -> None:
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.stale_discards = 0
+        self.events = 0
+        self.scan_cost = 0
+
+
+def pool_horizon_stats(model: Any) -> Optional[HorizonStats]:
+    """The :class:`HorizonStats` of a model's backing :class:`FluidPool`.
+
+    Resource models conventionally keep their pool in ``_pool``; models
+    without one (e.g. the contention-free analytic network) yield ``None``.
+    Shared by the ``horizon_stats`` properties on the network/CPU model
+    bases.
+    """
+    pool = getattr(model, "_pool", None)
+    return None if pool is None else pool.horizon
 
 
 class RateAllocator:
@@ -157,13 +319,13 @@ class RateAllocator:
         self.stats = AllocatorStats()
 
     # ---------------------------------------------------------- subclass api
-    def _full(self, tasks: list[FluidTask]) -> None:
+    def _full(self, tasks: Collection[FluidTask]) -> None:
         """Assign a rate to every task (full recompute)."""
         raise NotImplementedError
 
     def _update(
         self,
-        tasks: list[FluidTask],
+        tasks: Collection[FluidTask],
         added: Sequence[FluidTask],
         removed: Sequence[FluidTask],
     ) -> None:
@@ -171,37 +333,63 @@ class RateAllocator:
         self._full(tasks)
         self.stats.rates_computed += len(tasks)
 
-    def _refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
+    def _refresh(self, tasks: Collection[FluidTask], hint: Any = None) -> None:
         """External invalidation (cross-pool coupling); default full."""
         self._full(tasks)
         self.stats.rates_computed += len(tasks)
 
     # ------------------------------------------------------------ pool entry
-    def allocate(self, tasks: list[FluidTask]) -> None:
+    def allocate(self, tasks: Collection[FluidTask]) -> None:
         self.stats.full_allocations += 1
         self.stats.rates_computed += len(tasks)
         self._full(tasks)
 
     def update(
         self,
-        tasks: list[FluidTask],
+        tasks: Collection[FluidTask],
         added: Sequence[FluidTask],
         removed: Sequence[FluidTask],
     ) -> None:
-        self.stats.incremental_updates += 1
-        self._update(tasks, added, removed)
-        if self.verify:
-            self._verify_equivalence(tasks)
+        """Deliver a membership delta (thin wrapper over :meth:`apply`)."""
+        self.apply(tasks, added, removed)
 
-    def refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
-        self.stats.refreshes += 1
-        self._refresh(tasks, hint)
-        if self.verify:
+    def refresh(self, tasks: Collection[FluidTask], hint: Any = None) -> None:
+        """Deliver an external refresh (thin wrapper over :meth:`apply`)."""
+        self.apply(tasks, (), (), refresh=True, hint=hint)
+
+    def apply(
+        self,
+        tasks: Collection[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+        refresh: bool = False,
+        hint: Any = None,
+    ) -> None:
+        """Deliver pending membership deltas and/or an external refresh.
+
+        The pool's entry point: when a membership change and an external
+        invalidation land in the same rate assignment (e.g. a completed
+        compute step's callback submits a transfer, whose activity
+        notification forces a power refresh), the verify-mode shadow must
+        run once, *after* both are applied — mid-stream the incremental
+        state legitimately differs from a full recompute that reads the
+        already-changed external state.
+        """
+        if added or removed:
+            self.stats.incremental_updates += 1
+            self._update(tasks, added, removed)
+        if refresh and tasks:
+            self.stats.refreshes += 1
+            self._refresh(tasks, hint)
+        if self.verify and tasks and (added or removed or refresh):
+            # Nothing delivered → rates unchanged → shadowing would be a
+            # pure-waste O(n) recompute (and would over-count the counter).
             self._verify_equivalence(tasks)
 
     # -------------------------------------------------------------- internals
-    def _verify_equivalence(self, tasks: list[FluidTask]) -> None:
+    def _verify_equivalence(self, tasks: Collection[FluidTask]) -> None:
         """Shadow every incremental result with a full recompute."""
+        self.stats.verify_recomputes += 1
         incremental = [t.rate for t in tasks]
         self._full(tasks)
         for task, inc_rate in zip(tasks, incremental):
@@ -222,14 +410,16 @@ class FullRecomputeAllocator(RateAllocator):
 
     def _update(
         self,
-        tasks: list[FluidTask],
+        tasks: Collection[FluidTask],
         added: Sequence[FluidTask],
         removed: Sequence[FluidTask],
     ) -> None:
+        self.stats.full_fallbacks += 1
         self.stats.rates_computed += len(tasks)
         self._full(tasks)
 
-    def _refresh(self, tasks: list[FluidTask], hint: Any = None) -> None:
+    def _refresh(self, tasks: Collection[FluidTask], hint: Any = None) -> None:
+        self.stats.full_fallbacks += 1
         self.stats.rates_computed += len(tasks)
         self._full(tasks)
 
@@ -241,7 +431,7 @@ class _CallableAllocator(RateAllocator):
         super().__init__(verify=False)
         self._fn = fn
 
-    def _full(self, tasks: list[FluidTask]) -> None:
+    def _full(self, tasks: Collection[FluidTask]) -> None:
         self._fn(tasks)
 
 
@@ -256,6 +446,9 @@ class FluidPool:
     or a :class:`RateAllocator`, in which case the pool tracks the dirty set
     of added/removed tasks between rate assignments and dispatches
     membership changes through :meth:`RateAllocator.update`.
+
+    Completion times are indexed in a lazy min-heap (see the module
+    docstring); :attr:`horizon` exposes its work counters.
     """
 
     def __init__(
@@ -272,12 +465,28 @@ class FluidPool:
             self.allocator = _CallableAllocator(allocator)
             self._incremental = False
         self.name = name or "fluid-pool"
-        self._tasks: list[FluidTask] = []
+        # Insertion-ordered membership (dict-as-set) for O(1) removal while
+        # preserving the deterministic iteration order allocators rely on.
+        self._tasks: dict[FluidTask, None] = {}
         self._last_update = kernel.now
         self._event: Optional[EventHandle] = None
         # Dirty set: membership deltas since the allocator last ran.
         self._added: list[FluidTask] = []
         self._removed: list[FluidTask] = []
+        # Tasks whose rate changed during the current allocator run and
+        # therefore need a fresh horizon-heap entry.
+        self._retimed: dict[FluidTask, None] = {}
+        # Lazy min-heap of (finish_time, admission_seq, entry_id, task); an
+        # entry is live iff the task is still in this pool and
+        # task._entry == entry_id.  Ties on finish time resolve by admission
+        # order — the order the pre-heap linear scan iterated — keeping
+        # completion-callback order deterministic and independent of the
+        # (possibly hash-ordered) order in which an allocator assigns rates.
+        self._heap: list[tuple[float, int, int, FluidTask]] = []
+        self._entry_counter = 0
+        self._admission_counter = 0
+        #: horizon-index work counters (benchmarks, regression tests)
+        self.horizon = HorizonStats()
         #: total completed work, for conservation checks in tests
         self.completed_work = 0.0
         self.completed_tasks = 0
@@ -295,11 +504,14 @@ class FluidPool:
         self._advance()
         task.pool = self
         task.started_at = self.kernel.now
+        task._synced_at = self.kernel.now
+        self._admission_counter += 1
+        task._seq = self._admission_counter
         if task._drained():
             # Complete without ever occupying capacity.  Still credit the
             # (possibly tiny but positive) work so conservation holds.
             task.pool = None
-            task.remaining = 0.0
+            task._remaining = 0.0
             task.finished_at = self.kernel.now
             self.completed_work += task.work
             self.completed_tasks += 1
@@ -307,7 +519,7 @@ class FluidPool:
             # Membership may have changed re-entrantly; reallocate anyway.
             self._reallocate()
             return task
-        self._tasks.append(task)
+        self._tasks[task] = None
         self._added.append(task)
         self._reallocate()
         return task
@@ -317,8 +529,11 @@ class FluidPool:
         if task.pool is not self:
             raise SimulationError("task is not admitted to this pool")
         self._advance()
-        self._tasks.remove(task)
+        task._sync(self.kernel.now)
+        del self._tasks[task]
         task.pool = None
+        task._entry = None
+        self._retimed.pop(task, None)
         self._note_removed(task)
         self._reallocate()
 
@@ -334,6 +549,15 @@ class FluidPool:
         self._advance()
         self._reallocate(refresh=True, hint=hint)
 
+    def peek_horizon(self) -> float:
+        """Absolute completion time of the earliest live heap entry.
+
+        ``math.inf`` when every task is starved (no live entries).  Test
+        hook: equals ``now + min(remaining / rate)`` over rated tasks.
+        """
+        top = self._peek_valid()
+        return math.inf if top is None else top[0]
+
     # -------------------------------------------------------------- internals
     def _note_removed(self, task: FluidTask) -> None:
         """Record a departure in the dirty set (cancelling a pending add)."""
@@ -342,16 +566,15 @@ class FluidPool:
         else:
             self._removed.append(task)
 
+    def _note_rated(self, task: FluidTask) -> None:
+        """Record a rate change; the entry is re-pushed after the allocator."""
+        self._retimed[task] = None
+
     def _advance(self) -> None:
-        """Integrate progress since the last rate assignment."""
+        """Advance the pool clock (progress itself is integrated lazily)."""
         now = self.kernel.now
-        dt = now - self._last_update
-        if dt < 0.0:  # pragma: no cover - defensive
+        if now < self._last_update:  # pragma: no cover - defensive
             raise SimulationError(f"pool {self.name!r}: time went backwards")
-        if dt > 0.0:
-            for task in self._tasks:
-                if task.rate > 0.0:
-                    task.remaining = max(0.0, task.remaining - task.rate * dt)
         self._last_update = now
 
     def _reallocate(self, refresh: bool = False, hint: Any = None) -> None:
@@ -362,62 +585,131 @@ class FluidPool:
         if added or removed:
             self._added, self._removed = [], []
         if not self._tasks and not (self._incremental and (added or removed)):
+            self._retimed.clear()
             return
         if self._incremental:
-            # Deliver pending membership deltas first so the allocator's
-            # internal indices are current, then apply any refresh.
-            if added or removed:
-                self.allocator.update(self._tasks, added, removed)
-            if refresh and self._tasks:
-                self.allocator.refresh(self._tasks, hint)
+            # Deliver pending membership deltas and any refresh in one
+            # shot (the allocator applies deltas first so its internal
+            # indices are current, and verifies once at the end).
+            self.allocator.apply(
+                self._tasks, added, removed, refresh=refresh, hint=hint
+            )
         else:
             self.allocator.allocate(self._tasks)
+        # What the pre-heap implementation would have paid right here: one
+        # validation-plus-horizon scan over every active task.
+        self.horizon.scan_cost += len(self._tasks)
         if not self._tasks:
+            self._retimed.clear()
             return
-        horizon = math.inf
-        for task in self._tasks:
-            if not math.isfinite(task.rate) or task.rate < 0.0:
-                raise SimulationError(
-                    f"pool {self.name!r}: allocator set invalid rate {task.rate!r}"
+        self._flush_retimed()
+        self._schedule_next()
+
+    def _flush_retimed(self) -> None:
+        """Push fresh heap entries for every task the allocator re-rated."""
+        if not self._retimed:
+            return
+        retimed, self._retimed = self._retimed, {}
+        for task in retimed:
+            if task.pool is not self:
+                continue
+            if task._rate > 0.0:
+                self._entry_counter += 1
+                task._entry = self._entry_counter
+                finish = task._synced_at + task._remaining / task._rate
+                heapq.heappush(
+                    self._heap, (finish, task._seq, self._entry_counter, task)
                 )
-            if task.rate > 0.0:
-                horizon = min(horizon, task.remaining / task.rate)
-        if math.isinf(horizon):
-            # Every task is starved; progress resumes only on membership change.
+                self.horizon.heap_pushes += 1
+            else:
+                task._entry = None
+
+    def _peek_valid(self) -> Optional[tuple[float, int, int, FluidTask]]:
+        """Top live heap entry, lazily discarding stale ones."""
+        heap = self._heap
+        while heap:
+            _, _, entry_id, task = heap[0]
+            if task.pool is self and task._entry == entry_id:
+                return heap[0]
+            heapq.heappop(heap)
+            self.horizon.heap_pops += 1
+            self.horizon.stale_discards += 1
+        return None
+
+    def _schedule_next(self) -> None:
+        top = self._peek_valid()
+        if top is None:
+            # Every task is starved; progress resumes only on membership
+            # change.
             return
+        now = self.kernel.now
         # The horizon must *advance the clock*: at large timestamps a tiny
         # residual's horizon can fall below the float64 resolution of
         # ``now``, and an event that fires at the same instant would drain
         # nothing and reschedule itself forever (a Zeno freeze).  Padding
         # to a few ulps of ``now`` overruns true completion by a relatively
         # negligible amount and keeps progress strictly monotone.
-        min_step = max(_COMPLETION_ATOL, abs(self.kernel.now) * 1e-15)
-        self._event = self.kernel.schedule(max(horizon, min_step), self._on_horizon)
+        min_step = max(_COMPLETION_ATOL, abs(now) * 1e-15)
+        self._event = self.kernel.schedule(max(top[0] - now, min_step), self._on_horizon)
 
     def _on_horizon(self) -> None:
         self._event = None
         self._advance()
-        finished = [t for t in self._tasks if t._drained()]
+        now = self.kernel.now
+        self.horizon.events += 1
+        finished: list[FluidTask] = []
+        while True:
+            top = self._peek_valid()
+            if top is None or top[0] > now:
+                break
+            task = top[3]
+            heapq.heappop(self._heap)
+            self.horizon.heap_pops += 1
+            task._entry = None
+            if task._rate <= 0.0:
+                # The rate was externally zeroed without a reallocate, so
+                # the entry id was never superseded: the task is starved,
+                # not finished (the pre-heap scan skipped zero rates too).
+                self.horizon.stale_discards += 1
+                continue
+            task._sync(now)
+            if task._drained():
+                finished.append(task)
+            elif now + task._remaining / task._rate == now:
+                # Second Zeno guard: a task whose remaining horizon can no
+                # longer advance the clock is complete for all purposes —
+                # its residual is below the resolution of simulated time.
+                finished.append(task)
+            else:
+                # Float drift left a real residual; re-index at the updated
+                # completion time.  The min-step pad in ``_schedule_next``
+                # keeps the clock advancing, so this cannot loop forever.
+                self._entry_counter += 1
+                task._entry = self._entry_counter
+                heapq.heappush(
+                    self._heap,
+                    (
+                        now + task._remaining / task._rate,
+                        task._seq,
+                        self._entry_counter,
+                        task,
+                    ),
+                )
+                self.horizon.heap_pushes += 1
+        # The pre-heap implementation scanned every task here for drained
+        # residuals; account the hypothetical cost for the benchmark.
+        self.horizon.scan_cost += len(self._tasks)
         if not finished:
-            # Second Zeno guard: a task whose remaining horizon can no
-            # longer advance the clock is complete for all purposes —
-            # its residual is below the resolution of simulated time.
-            now = self.kernel.now
-            finished = [
-                t
-                for t in self._tasks
-                if t.rate > 0.0 and now + t.remaining / t.rate == now
-            ]
-            if not finished:
-                self._reallocate()
-                return
+            self._schedule_next()
+            return
         for task in finished:
-            self._tasks.remove(task)
+            del self._tasks[task]
             task.pool = None
             self.completed_work += task.work
             self.completed_tasks += 1
-            task.remaining = 0.0
-            task.finished_at = self.kernel.now
+            task._remaining = 0.0
+            task.finished_at = now
+            self._retimed.pop(task, None)
             self._note_removed(task)
         # Run completion callbacks *after* detaching all finished tasks so a
         # callback that admits new work sees a consistent pool.

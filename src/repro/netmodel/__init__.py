@@ -16,7 +16,12 @@ finer-grained noisy model used by the ground-truth testbed
 """
 
 from repro.netmodel.params import NetworkParams
-from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.base import (
+    LinkComponentAllocator,
+    NetworkModel,
+    StarFlowAllocator,
+    Transfer,
+)
 from repro.netmodel.analytic import AnalyticNetwork
 from repro.netmodel.backplane import BackplaneStarNetwork
 from repro.netmodel.star import EqualShareStarNetwork
@@ -27,6 +32,8 @@ from repro.netmodel.calibration import CalibrationResult, calibrate
 __all__ = [
     "NetworkParams",
     "NetworkModel",
+    "StarFlowAllocator",
+    "LinkComponentAllocator",
     "Transfer",
     "AnalyticNetwork",
     "BackplaneStarNetwork",

@@ -6,6 +6,19 @@ exposes per-node concurrent-transfer counts, which the CPU model consumes
 ("the consumed processing power depends on the number of outgoing and
 incoming communications" — paper section 4), and notifies listeners whenever
 those counts change.
+
+This module also hosts the two shared incremental-allocator geometries of
+the star topology (see the allocator protocol in :mod:`repro.des.fluid`):
+
+* :class:`StarFlowAllocator` — per-node egress/ingress indices with
+  *single-hop* dirty sets, for sharing laws without redistribution (the
+  paper's equal-share law, the finite-backplane variant);
+* :class:`LinkComponentAllocator` — a link → flows index plus BFS over
+  connected components of the bipartite flow/link graph, for laws where a
+  change cascades transitively through chained bottlenecks (max-min
+  water-filling, the packet-level testbed model).
+
+Concrete models subclass one of these and implement only the rate law.
 """
 
 from __future__ import annotations
@@ -13,8 +26,9 @@ from __future__ import annotations
 import itertools
 import math
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Collection, Optional, Sequence
 
+from repro.des.fluid import FluidTask, RateAllocator, pool_horizon_stats
 from repro.des.kernel import Kernel
 from repro.errors import SimulationError
 from repro.netmodel.params import NetworkParams
@@ -126,6 +140,11 @@ class NetworkModel(ABC):
         """Subscribe to concurrency-count changes (CPU-model coupling)."""
         self._listeners.append(listener)
 
+    @property
+    def horizon_stats(self):
+        """Completion-horizon counters of the backing pool (None if none)."""
+        return pool_horizon_stats(self)
+
     # ------------------------------------------------------------ subclass
     @abstractmethod
     def _start(self, transfer: Transfer) -> None:
@@ -139,9 +158,245 @@ class NetworkModel(ABC):
         self._incoming[transfer.dst] -= 1
         self.completed_transfers += 1
         self.delivered_bytes += transfer.size
-        transfer.on_complete(transfer)
+        # Notify *before* the completion callback: the callback may submit
+        # compute work, and the CPU model's cached per-node powers must
+        # already reflect the decremented transfer counts when it does —
+        # otherwise the stale window is observable (the verify-mode shadow
+        # catches exactly this).
         self._notify((transfer.src, transfer.dst))
+        transfer.on_complete(transfer)
 
     def _notify(self, nodes: Optional[tuple[int, ...]] = None) -> None:
         for listener in self._listeners:
             listener(nodes)
+
+
+# --------------------------------------------------------------------------
+# shared incremental-allocator machinery (star topology)
+# --------------------------------------------------------------------------
+
+#: A link of the star topology: egress ("out") or ingress ("in") of a node.
+Link = tuple[str, int]
+
+
+class StarFlowAllocator(RateAllocator):
+    """Per-node flow indices with single-hop dirty sets.
+
+    For sharing laws *without* redistribution, an arriving or departing
+    flow can only change the rates of flows sharing one of its two links —
+    no transitive cascade.  This base maintains insertion-ordered per-node
+    egress/ingress indices (dict-as-set: id-hashed set iteration would vary
+    between runs and leak float nondeterminism into subclasses that
+    accumulate over the dirty set) and computes that one-hop dirty set;
+    subclasses implement only the rate law:
+
+    * :meth:`_full_rates` — assign every task's rate (full recompute);
+    * :meth:`_update_rates` — assign rates for the dirty tasks, returning
+      the number of per-task rate assignments actually performed.
+
+    Tasks are located in the topology through :meth:`_flow`, which by
+    default reads ``task.tag.src`` / ``task.tag.dst``
+    (:class:`Transfer` tags).
+    """
+
+    def __init__(self, capacity: float, verify: bool = False) -> None:
+        super().__init__(verify=verify)
+        self.capacity = capacity
+        self._out_tasks: dict[int, dict[FluidTask, None]] = {}
+        self._in_tasks: dict[int, dict[FluidTask, None]] = {}
+
+    # ---------------------------------------------------------------- hooks
+    def _flow(self, task: FluidTask) -> tuple[int, int]:
+        """(source, destination) node ids of ``task``."""
+        transfer = task.tag
+        return transfer.src, transfer.dst
+
+    def _full_rates(self, tasks: Collection[FluidTask]) -> None:
+        """Assign a rate to every task (indices are freshly rebuilt)."""
+        raise NotImplementedError
+
+    def _update_rates(
+        self, dirty: Collection[FluidTask], tasks: Collection[FluidTask]
+    ) -> int:
+        """Assign rates for the dirty set; return rates actually computed."""
+        raise NotImplementedError
+
+    def _forget(self, task: FluidTask) -> None:
+        """Drop any extra per-task bookkeeping for a removed task."""
+
+    # -------------------------------------------------------------- helpers
+    def _equal_share_rate(self, task: FluidTask) -> float:
+        """The paper's sharing law: ``min(B / n_out(src), B / n_in(dst))``."""
+        src, dst = self._flow(task)
+        out_share = self.capacity / len(self._out_tasks[src])
+        in_share = self.capacity / len(self._in_tasks[dst])
+        return min(out_share, in_share)
+
+    def _rebuild_index(self, tasks: Collection[FluidTask]) -> None:
+        self._out_tasks = {}
+        self._in_tasks = {}
+        for task in tasks:
+            src, dst = self._flow(task)
+            self._out_tasks.setdefault(src, {})[task] = None
+            self._in_tasks.setdefault(dst, {})[task] = None
+
+    # ------------------------------------------------------------- allocator
+    def _full(self, tasks: Collection[FluidTask]) -> None:
+        # Rebuild the per-node indices from scratch: the full path must not
+        # depend on incremental bookkeeping being in sync.
+        self._rebuild_index(tasks)
+        self._full_rates(tasks)
+
+    def _update(
+        self,
+        tasks: Collection[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        dirty: dict[FluidTask, None] = {}
+        for task in removed:
+            src, dst = self._flow(task)
+            members = self._out_tasks.get(src)
+            if members is not None:
+                members.pop(task, None)
+                if not members:
+                    del self._out_tasks[src]
+            members = self._in_tasks.get(dst)
+            if members is not None:
+                members.pop(task, None)
+                if not members:
+                    del self._in_tasks[dst]
+            self._forget(task)
+            for neighbour in self._out_tasks.get(src, ()):
+                dirty[neighbour] = None
+            for neighbour in self._in_tasks.get(dst, ()):
+                dirty[neighbour] = None
+        for task in added:
+            src, dst = self._flow(task)
+            self._out_tasks.setdefault(src, {})[task] = None
+            self._in_tasks.setdefault(dst, {})[task] = None
+        for task in added:
+            src, dst = self._flow(task)
+            for neighbour in self._out_tasks[src]:
+                dirty[neighbour] = None
+            for neighbour in self._in_tasks[dst]:
+                dirty[neighbour] = None
+        # A task removed later in the batch may have entered ``dirty`` as a
+        # neighbour of an earlier removal; it holds no rate any more.
+        for task in removed:
+            dirty.pop(task, None)
+        self.stats.rates_computed += self._update_rates(dirty, tasks)
+
+
+class LinkComponentAllocator(RateAllocator):
+    """Link → flows index with BFS over connected components.
+
+    For sharing laws where bandwidth unused by flows bottlenecked elsewhere
+    is redistributed (max-min water-filling and its derivatives), a
+    membership change cascades transitively through chained bottlenecks —
+    but never past the connected component of the bipartite flow/link graph
+    containing the changed flows.  This base maintains the link index,
+    finds the affected component by BFS, and re-solves only that component
+    through the :meth:`_solve` hook, falling back to a full re-solve when
+    the component cascades past ``cascade_threshold`` of the active flows
+    (at which point the restricted solve would cost as much as the full
+    one).  Fallbacks are counted in ``stats.full_fallbacks``.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        cascade_threshold: float = 0.5,
+        verify: bool = False,
+    ) -> None:
+        super().__init__(verify=verify)
+        self.capacity = capacity
+        self.cascade_threshold = cascade_threshold
+        # Insertion-ordered (dict-as-set): set iteration over id-hashed
+        # tasks or str-hashed links would vary between process runs and
+        # leak float nondeterminism into the solve order.
+        self._link_tasks: dict[Link, dict[FluidTask, None]] = {}
+
+    # ---------------------------------------------------------------- hooks
+    def _flow(self, task: FluidTask) -> tuple[int, int]:
+        """(source, destination) node ids of ``task``."""
+        transfer = task.tag
+        return transfer.src, transfer.dst
+
+    def _solve(self, tasks: Sequence[FluidTask]) -> None:
+        """Assign rates to ``tasks`` (a component, or everything)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+    def _links(self, task: FluidTask) -> tuple[Link, Link]:
+        src, dst = self._flow(task)
+        return ("out", src), ("in", dst)
+
+    def _register(self, task: FluidTask) -> None:
+        for link in self._links(task):
+            self._link_tasks.setdefault(link, {})[task] = None
+
+    def _unregister(self, task: FluidTask) -> None:
+        for link in self._links(task):
+            members = self._link_tasks.get(link)
+            if members is not None:
+                members.pop(task, None)
+                if not members:
+                    del self._link_tasks[link]
+
+    def _component(self, seed_links: Sequence[Link]) -> list[FluidTask]:
+        """Flows reachable from ``seed_links`` in the flow/link graph."""
+        dirty: set[FluidTask] = set()
+        ordered: list[FluidTask] = []
+        frontier = [link for link in seed_links if link in self._link_tasks]
+        seen_links = set(seed_links)
+        while frontier:
+            link = frontier.pop()
+            for task in self._link_tasks.get(link, ()):
+                if task in dirty:
+                    continue
+                dirty.add(task)
+                ordered.append(task)
+                for other in self._links(task):
+                    if other not in seen_links:
+                        seen_links.add(other)
+                        frontier.append(other)
+        return ordered
+
+    # ------------------------------------------------------------- allocator
+    def _full(self, tasks: Collection[FluidTask]) -> None:
+        # Rebuild the link index from scratch: the full path must not
+        # depend on incremental bookkeeping being in sync.
+        self._link_tasks = {}
+        for task in tasks:
+            self._register(task)
+        self._solve(list(tasks))
+
+    def _update(
+        self,
+        tasks: Collection[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        # Ordered dedup (not a set) for the determinism reason above.
+        seed_links: dict[Link, None] = {}
+        for task in removed:
+            for link in self._links(task):
+                seed_links[link] = None
+            self._unregister(task)
+        for task in added:
+            self._register(task)
+            for link in self._links(task):
+                seed_links[link] = None
+        if not tasks:
+            return
+        dirty = self._component(list(seed_links))
+        if len(dirty) > self.cascade_threshold * len(tasks):
+            # The cascade reaches most of the pool; the restricted solve
+            # would cost as much as the full one, so do the full one.
+            self.stats.full_fallbacks += 1
+            self.stats.rates_computed += len(tasks)
+            self._solve(list(tasks))
+            return
+        self.stats.rates_computed += len(dirty)
+        self._solve(dirty)

@@ -13,11 +13,10 @@ Rate allocation is *incremental* by default: max-min rates decompose over
 connected components of the bipartite flow/link graph, so when a flow
 arrives or departs only the flows in its component — those sharing a link
 with it directly or transitively through chained bottlenecks — can change
-rate.  :class:`IncrementalMaxMinAllocator` maintains a link → flows index,
-finds the affected component by BFS, and re-runs water-filling on that
-component alone, falling back to a full recomputation when the component
-cascades past ``cascade_threshold`` of the active flows (at which point the
-restricted solve would cost as much as the full one).
+rate.  The component tracking (link index, BFS, cascade fallback) lives in
+:class:`~repro.netmodel.base.LinkComponentAllocator`;
+:class:`IncrementalMaxMinAllocator` contributes only the water-filling
+solve.
 """
 
 from __future__ import annotations
@@ -25,14 +24,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator, RateAllocator
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
 from repro.errors import SimulationError
-from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.base import Link, LinkComponentAllocator, NetworkModel, Transfer
 from repro.netmodel.params import NetworkParams
-
-#: A link of the star topology: egress ("out") or ingress ("in") of a node.
-Link = tuple[str, int]
 
 
 def _flow_links(src: int, dst: int) -> tuple[Link, Link]:
@@ -104,7 +100,7 @@ def maxmin_rates(
     return rates
 
 
-class IncrementalMaxMinAllocator(RateAllocator):
+class IncrementalMaxMinAllocator(LinkComponentAllocator):
     """Dirty-set-bounded water-filling for star-topology fluid tasks.
 
     Tasks must be tagged with objects exposing ``src``/``dst`` node ids
@@ -115,95 +111,12 @@ class IncrementalMaxMinAllocator(RateAllocator):
     filling decomposes over components.
     """
 
-    def __init__(
-        self,
-        capacity: float,
-        cascade_threshold: float = 0.5,
-        verify: bool = False,
-    ) -> None:
-        super().__init__(verify=verify)
-        self.capacity = capacity
-        self.cascade_threshold = cascade_threshold
-        # Insertion-ordered (dict-as-set): set iteration over id-hashed
-        # tasks or str-hashed links would vary between process runs and
-        # leak float nondeterminism into the water-fill order.
-        self._link_tasks: dict[Link, dict[FluidTask, None]] = {}
-
-    # ---------------------------------------------------------------- helpers
-    def _register(self, task: FluidTask) -> None:
-        for link in _flow_links(task.tag.src, task.tag.dst):
-            self._link_tasks.setdefault(link, {})[task] = None
-
-    def _unregister(self, task: FluidTask) -> None:
-        for link in _flow_links(task.tag.src, task.tag.dst):
-            members = self._link_tasks.get(link)
-            if members is not None:
-                members.pop(task, None)
-                if not members:
-                    del self._link_tasks[link]
-
-    def _component(self, seed_links: Sequence[Link]) -> list[FluidTask]:
-        """Flows reachable from ``seed_links`` in the flow/link graph."""
-        dirty: set[FluidTask] = set()
-        ordered: list[FluidTask] = []
-        frontier = [link for link in seed_links if link in self._link_tasks]
-        seen_links = set(seed_links)
-        while frontier:
-            link = frontier.pop()
-            for task in self._link_tasks.get(link, ()):
-                if task in dirty:
-                    continue
-                dirty.add(task)
-                ordered.append(task)
-                for other in _flow_links(task.tag.src, task.tag.dst):
-                    if other not in seen_links:
-                        seen_links.add(other)
-                        frontier.append(other)
-        return ordered
-
     def _solve(self, tasks: Sequence[FluidTask]) -> None:
         rates = maxmin_rates(
-            [(t.tag.src, t.tag.dst) for t in tasks], self.capacity
+            [self._flow(t) for t in tasks], self.capacity
         )
         for task, rate in zip(tasks, rates):
             task.rate = rate
-
-    # ------------------------------------------------------------- allocator
-    def _full(self, tasks: list[FluidTask]) -> None:
-        # Rebuild the link index from scratch: the full path must not
-        # depend on incremental bookkeeping being in sync.
-        self._link_tasks = {}
-        for task in tasks:
-            self._register(task)
-        self._solve(tasks)
-
-    def _update(
-        self,
-        tasks: list[FluidTask],
-        added: Sequence[FluidTask],
-        removed: Sequence[FluidTask],
-    ) -> None:
-        # Ordered dedup (not a set) for the determinism reason above.
-        seed_links: dict[Link, None] = {}
-        for task in removed:
-            for link in _flow_links(task.tag.src, task.tag.dst):
-                seed_links[link] = None
-            self._unregister(task)
-        for task in added:
-            self._register(task)
-            for link in _flow_links(task.tag.src, task.tag.dst):
-                seed_links[link] = None
-        if not tasks:
-            return
-        dirty = self._component(list(seed_links))
-        if len(dirty) > self.cascade_threshold * len(tasks):
-            # The cascade reaches most of the pool; the restricted solve
-            # would cost as much as the full one, so do the full one.
-            self.stats.rates_computed += len(tasks)
-            self._solve(tasks)
-            return
-        self.stats.rates_computed += len(dirty)
-        self._solve(dirty)
 
 
 class MaxMinStarNetwork(NetworkModel):

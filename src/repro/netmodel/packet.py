@@ -20,10 +20,11 @@ Everything stochastic derives from an explicit seed, so testbed
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.des.fluid import FluidPool, FluidTask
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
-from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.base import LinkComponentAllocator, NetworkModel, Transfer
 from repro.netmodel.maxmin import maxmin_rates
 from repro.errors import ConfigurationError
 from repro.netmodel.params import NetworkParams
@@ -72,8 +73,37 @@ class PacketNetworkParams:
         check_non_negative("rate_jitter", self.rate_jitter)
 
 
+class IncrementalPacketAllocator(LinkComponentAllocator):
+    """Dirty-set-bounded water-filling with per-transfer throughput jitter.
+
+    Tasks are tagged ``(transfer, throughput_factor)``.  The fair rates are
+    exactly the max-min water-filling solution of the flow/link graph —
+    which decomposes over connected components — and the seeded throughput
+    factor is a per-task multiplier applied afterwards, so restricting the
+    re-solve to the changed flows' component stays exact.
+    """
+
+    def _flow(self, task: FluidTask) -> tuple[int, int]:
+        transfer = task.tag[0]
+        return transfer.src, transfer.dst
+
+    def _solve(self, tasks: Sequence[FluidTask]) -> None:
+        rates = maxmin_rates([self._flow(t) for t in tasks], self.capacity)
+        for task, rate in zip(tasks, rates):
+            task.rate = rate * task.tag[1]
+
+
+class _FullPacketAllocator(FullRecomputeAllocator, IncrementalPacketAllocator):
+    """Full water-filling on every membership change (baseline)."""
+
+
 class PacketNetwork(NetworkModel):
-    """Chunked, noisy, max-min-fair star network (testbed ground truth)."""
+    """Chunked, noisy, max-min-fair star network (testbed ground truth).
+
+    ``incremental=False`` restores the full-recompute-per-event allocator
+    (the benchmark baseline); ``verify_incremental=True`` shadows every
+    incremental update with a full solve and raises on divergence.
+    """
 
     def __init__(
         self,
@@ -81,11 +111,22 @@ class PacketNetwork(NetworkModel):
         params: NetworkParams,
         packet_params: PacketNetworkParams | None = None,
         seed: int = 0,
+        incremental: bool = True,
+        verify_incremental: bool = False,
+        cascade_threshold: float = 0.5,
     ) -> None:
         super().__init__(kernel, params)
         self.packet_params = packet_params or PacketNetworkParams()
         self._rng = SeedSequenceFactory(seed).rng("packet-network")
-        self._pool = FluidPool(kernel, self._allocate, name="packet-network")
+        allocator_cls = (
+            IncrementalPacketAllocator if incremental else _FullPacketAllocator
+        )
+        self.allocator = allocator_cls(
+            params.bandwidth,
+            cascade_threshold=cascade_threshold,
+            verify=verify_incremental,
+        )
+        self._pool = FluidPool(kernel, self.allocator, name="packet-network")
 
     # ------------------------------------------------------------ lifecycle
     def _start(self, transfer: Transfer) -> None:
@@ -111,10 +152,3 @@ class PacketNetwork(NetworkModel):
     def _drain_done(self, task: FluidTask) -> None:
         transfer, _ = task.tag
         self._finish(transfer)
-
-    # ------------------------------------------------------------ allocator
-    def _allocate(self, tasks: list[FluidTask]) -> None:
-        flows = [(t.tag[0].src, t.tag[0].dst) for t in tasks]
-        rates = maxmin_rates(flows, self.params.bandwidth)
-        for task, rate in zip(tasks, rates):
-            task.rate = rate * task.tag[1]

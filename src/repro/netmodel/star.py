@@ -29,83 +29,33 @@ which ``s`` bytes drain through the fluid pool.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Collection
 
-from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator, RateAllocator
+from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
-from repro.netmodel.base import NetworkModel, Transfer
+from repro.netmodel.base import NetworkModel, StarFlowAllocator, Transfer
 from repro.netmodel.params import NetworkParams
 
 
-class IncrementalEqualShareAllocator(RateAllocator):
+class IncrementalEqualShareAllocator(StarFlowAllocator):
     """Equal-share rates updated only for flows touching a changed node.
 
-    Maintains per-node sets of draining tasks; a membership change
-    recomputes rates only for tasks whose source shares the changed flow's
-    source node or whose destination shares its destination node.
+    The per-node indices and single-hop dirty-set computation live in
+    :class:`~repro.netmodel.base.StarFlowAllocator`; this class contributes
+    only the paper's rate law ``min(B / n_out(src), B / n_in(dst))``.
     """
 
-    def __init__(self, capacity: float, verify: bool = False) -> None:
-        super().__init__(verify=verify)
-        self.capacity = capacity
-        self._out_tasks: dict[int, set[FluidTask]] = {}
-        self._in_tasks: dict[int, set[FluidTask]] = {}
-
-    # ---------------------------------------------------------------- helpers
-    def _rate(self, task: FluidTask) -> float:
-        transfer: Transfer = task.tag
-        out_share = self.capacity / len(self._out_tasks[transfer.src])
-        in_share = self.capacity / len(self._in_tasks[transfer.dst])
-        return min(out_share, in_share)
-
     # ------------------------------------------------------------- allocator
-    def _full(self, tasks: list[FluidTask]) -> None:
-        # Rebuild the per-node indices from scratch: the full path must not
-        # depend on incremental bookkeeping being in sync.
-        self._out_tasks = {}
-        self._in_tasks = {}
+    def _full_rates(self, tasks: Collection[FluidTask]) -> None:
         for task in tasks:
-            transfer: Transfer = task.tag
-            self._out_tasks.setdefault(transfer.src, set()).add(task)
-            self._in_tasks.setdefault(transfer.dst, set()).add(task)
-        for task in tasks:
-            task.rate = self._rate(task)
+            task.rate = self._equal_share_rate(task)
 
-    def _update(
-        self,
-        tasks: list[FluidTask],
-        added: Sequence[FluidTask],
-        removed: Sequence[FluidTask],
-    ) -> None:
-        dirty: set[FluidTask] = set()
-        for task in removed:
-            transfer: Transfer = task.tag
-            members = self._out_tasks.get(transfer.src)
-            if members is not None:
-                members.discard(task)
-                if not members:
-                    del self._out_tasks[transfer.src]
-            members = self._in_tasks.get(transfer.dst)
-            if members is not None:
-                members.discard(task)
-                if not members:
-                    del self._in_tasks[transfer.dst]
-            dirty.update(self._out_tasks.get(transfer.src, ()))
-            dirty.update(self._in_tasks.get(transfer.dst, ()))
-        for task in added:
-            transfer = task.tag
-            self._out_tasks.setdefault(transfer.src, set()).add(task)
-            self._in_tasks.setdefault(transfer.dst, set()).add(task)
-        for task in added:
-            transfer = task.tag
-            dirty.update(self._out_tasks[transfer.src])
-            dirty.update(self._in_tasks[transfer.dst])
-        # A task removed later in the batch may have entered ``dirty`` as a
-        # neighbour of an earlier removal; it holds no rate any more.
-        dirty.difference_update(removed)
-        self.stats.rates_computed += len(dirty)
+    def _update_rates(
+        self, dirty: Collection[FluidTask], tasks: Collection[FluidTask]
+    ) -> int:
         for task in dirty:
-            task.rate = self._rate(task)
+            task.rate = self._equal_share_rate(task)
+        return len(dirty)
 
 
 class _FullEqualShareAllocator(FullRecomputeAllocator, IncrementalEqualShareAllocator):

@@ -70,6 +70,14 @@ class DPSSimulator:
     measure_memory:
         Track peak memory with :mod:`tracemalloc` (adds host overhead;
         used by the Table 1 bench).
+    incremental:
+        Rate allocation mode of the assembled models; ``False`` restores
+        full recomputation on every membership change (the benchmark
+        baseline).  Applied to the default network factory and the CPU
+        model; a custom ``network_factory`` manages its own flags.
+    verify_incremental:
+        Shadow every incremental update with a full recompute and raise on
+        divergence (the equivalence-test mode; slow).
     """
 
     def __init__(
@@ -79,19 +87,36 @@ class DPSSimulator:
         trace_level: TraceLevel = TraceLevel.SUMMARY,
         network_factory: Optional[type] = None,
         measure_memory: bool = False,
+        incremental: bool = True,
+        verify_incremental: bool = False,
     ) -> None:
         self.platform = platform
         self.provider = provider
         self.trace_level = trace_level
-        self.network_factory = network_factory or EqualShareStarNetwork
+        self.network_factory = network_factory
         self.measure_memory = measure_memory
+        self.incremental = incremental
+        self.verify_incremental = verify_incremental
 
     # ------------------------------------------------------------------ run
     def build_backend(self) -> ExecutionBackend:
         """Assemble kernel + models for one run (fresh every time)."""
         kernel = Kernel()
-        network: NetworkModel = self.network_factory(kernel, self.platform.network)
-        cpu = SharedCpuModel(kernel, CommCostModel(self.platform.comm_cost))
+        if self.network_factory is not None:
+            network: NetworkModel = self.network_factory(kernel, self.platform.network)
+        else:
+            network = EqualShareStarNetwork(
+                kernel,
+                self.platform.network,
+                incremental=self.incremental,
+                verify_incremental=self.verify_incremental,
+            )
+        cpu = SharedCpuModel(
+            kernel,
+            CommCostModel(self.platform.comm_cost),
+            incremental=self.incremental,
+            verify_incremental=self.verify_incremental,
+        )
         return ExecutionBackend(
             kernel,
             cpu,

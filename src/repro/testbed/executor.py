@@ -79,11 +79,15 @@ class TestbedExecutor:
         bias: Optional[KernelBias] = None,
         run_kernels: bool = True,
         trace_level: TraceLevel = TraceLevel.SUMMARY,
+        incremental: bool = True,
+        verify_incremental: bool = False,
     ) -> None:
         self.cluster = cluster
         self.bias = bias or DEFAULT_KERNEL_BIAS
         self.run_kernels = run_kernels
         self.trace_level = trace_level
+        self.incremental = incremental
+        self.verify_incremental = verify_incremental
 
     def build_backend(self) -> ExecutionBackend:
         """Fresh kernel + ground-truth models for one measurement run."""
@@ -93,9 +97,15 @@ class TestbedExecutor:
             self.cluster.network,
             self.cluster.packet_params,
             seed=self.cluster.seed,
+            incremental=self.incremental,
+            verify_incremental=self.verify_incremental,
         )
         cpu = TimesliceCpuModel(
-            kernel, self.cluster.timeslice_params, seed=self.cluster.seed
+            kernel,
+            self.cluster.timeslice_params,
+            seed=self.cluster.seed,
+            incremental=self.incremental,
+            verify_incremental=self.verify_incremental,
         )
         return ExecutionBackend(kernel, cpu, network)
 

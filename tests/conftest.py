@@ -11,6 +11,17 @@ from repro.sim.platform import PlatformSpec
 from repro.sim.providers import CostModelProvider, MachineCostModel
 
 
+@pytest.fixture(autouse=True)
+def _isolated_calibration_cache(tmp_path_factory, monkeypatch):
+    """Keep the on-disk calibration cache out of the user's home dir.
+
+    Session-scoped directory: calibrations are deterministic, so sharing
+    one cache across the suite is safe and keeps sweep tests fast.
+    """
+    cache = tmp_path_factory.getbasetemp() / "repro-calibration-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+
+
 @pytest.fixture
 def kernel() -> Kernel:
     """A fresh discrete-event kernel."""

@@ -1,0 +1,160 @@
+"""Incremental allocation for the timeslice CPU model (and its coupling).
+
+Mirrors ``tests/netmodel/test_incremental.py`` for
+:class:`~repro.cpumodel.timeslice.TimesliceCpuModel`, which joined the
+dirty-set protocol after the shared-CPU model: per-host slice groups with
+the multiprogramming-overhead rate law, including the network coupling
+(transfer activity consumes processing power, so network changes must
+re-rate exactly the touched hosts).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+from repro.des.kernel import Kernel
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+#: Deterministic knobs (noise off) keep the inc/full comparison exact even
+#: under heavy churn; noise is covered by the seeded-equivalence test below.
+QUIET = TimesliceParams(csw_overhead=0.05, noise_sigma=0.0)
+
+
+def _drive(cpu_factory, submissions, with_network=False):
+    """Submit (time, node, work) steps; return completion times."""
+    kernel = Kernel()
+    cpu = cpu_factory(kernel)
+    if with_network:
+        # Couple to a network and keep transfers churning so available
+        # power moves mid-run (the refresh path).
+        net = EqualShareStarNetwork(kernel, NetworkParams(latency=0.0, bandwidth=1e6))
+        cpu.attach_network(net)
+        rng = random.Random(9)
+        for i in range(10):
+            kernel.schedule(
+                rng.uniform(0.0, 2.0),
+                net.submit,
+                rng.randrange(4),
+                4 + rng.randrange(4),
+                rng.uniform(1e5, 1e6),
+                lambda tr: None,
+            )
+    completions = {}
+
+    def submit(index, node, work):
+        cpu.submit(node, work, lambda h: completions.setdefault(index, kernel.now))
+
+    for i, (time, node, work) in enumerate(submissions):
+        kernel.schedule(time, submit, i, node, work)
+    kernel.run()
+    assert len(completions) == len(submissions)
+    return [completions[i] for i in range(len(submissions))], cpu
+
+
+submission_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),    # submit time
+        st.integers(min_value=0, max_value=3),      # node
+        st.floats(min_value=0.01, max_value=2.0),   # work
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(submission_strategy)
+def test_timeslice_incremental_matches_full_shadow(submissions):
+    """verify_incremental=True raises if any incremental update diverges
+    from the full recompute by more than 1e-9 relative."""
+    times, cpu = _drive(
+        lambda kernel: TimesliceCpuModel(
+            kernel, QUIET, seed=0, verify_incremental=True
+        ),
+        submissions,
+    )
+    assert cpu.allocator.stats.incremental_updates > 0
+    assert cpu.allocator.stats.verify_recomputes > 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(submission_strategy)
+def test_timeslice_shadow_with_network_coupling(submissions):
+    """The refresh path (power moved by transfer activity) must also match
+    the full recompute exactly."""
+    times, cpu = _drive(
+        lambda kernel: TimesliceCpuModel(
+            kernel, QUIET, seed=0, verify_incremental=True
+        ),
+        submissions,
+        with_network=True,
+    )
+    assert cpu.allocator.stats.incremental_updates > 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(submission_strategy)
+def test_timeslice_incremental_end_to_end_equivalence(submissions):
+    """Completion times agree between incremental and full allocation, with
+    seeded noise on (identical submission order → identical draws)."""
+    noisy = TimesliceParams(csw_overhead=0.02, noise_sigma=0.05)
+    inc_times, _ = _drive(
+        lambda kernel: TimesliceCpuModel(kernel, noisy, seed=5, incremental=True),
+        submissions,
+    )
+    full_times, _ = _drive(
+        lambda kernel: TimesliceCpuModel(kernel, noisy, seed=5, incremental=False),
+        submissions,
+    )
+    for a, b in zip(inc_times, full_times):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+def test_timeslice_updates_touch_one_host_only(kernel):
+    """Steps on distinct hosts are independent slice groups: each arrival
+    re-rates only its own host's steps."""
+    cpu = TimesliceCpuModel(kernel, QUIET, seed=0)
+    for node in range(6):
+        cpu.submit(node, 1.0, lambda h: None)
+    stats = cpu.allocator.stats
+    assert stats.incremental_updates == 6
+    assert stats.rates_computed == 6
+    kernel.run()
+
+
+def test_timeslice_overhead_law_survives_incremental(kernel):
+    """The multiprogramming-overhead rate law must be unchanged: two steps
+    on one host finish at 2 * (1 + csw) with csw overhead."""
+    cpu = TimesliceCpuModel(
+        kernel, TimesliceParams(csw_overhead=0.1, noise_sigma=0.0), seed=0
+    )
+    done = []
+    cpu.submit(0, 1.0, lambda h: done.append(kernel.now))
+    cpu.submit(0, 1.0, lambda h: done.append(kernel.now))
+    kernel.run()
+    assert done[0] == pytest.approx(2.0 * 1.1, rel=1e-6)
+
+
+def test_shared_and_timeslice_agree_without_overhead(kernel):
+    """With csw_overhead=0 and no noise the timeslice law reduces to the
+    paper's even share — the two allocator families must agree."""
+    from repro.cpumodel.shared import SharedCpuModel
+
+    results = {}
+    for name, build in (
+        ("shared", lambda k: SharedCpuModel(k)),
+        ("timeslice", lambda k: TimesliceCpuModel(
+            k, TimesliceParams(csw_overhead=0.0, noise_sigma=0.0), seed=0
+        )),
+    ):
+        k = Kernel()
+        cpu = build(k)
+        done = []
+        for node, work in [(0, 1.0), (0, 2.0), (1, 1.5), (0, 0.5)]:
+            cpu.submit(node, work, lambda h: done.append(k.now))
+        k.run()
+        results[name] = sorted(done)
+    assert results["shared"] == pytest.approx(results["timeslice"])
