@@ -18,17 +18,28 @@ through both allocator modes of **all** resource models:
 * CPUs: ``shared-cpu`` (the paper's), ``timeslice-cpu`` (testbed).
 
 and reports events/sec, per-change allocator work (with full-recompute
-fallbacks and verify-shadow recomputes broken out), and per-change horizon
-work — real heap operations vs the hypothetical linear-scan cost the
-pre-heap implementation would have paid.  Run it as a script::
+fallbacks, warm starts, and verify-shadow recomputes broken out), and
+per-change horizon work — real heap operations vs the hypothetical
+linear-scan cost the pre-heap implementation would have paid.
+
+A second, *dense-traffic* regime drives the same churn through all-to-all
+flows on a handful of nodes — the workload where the maxmin/packet dirty
+set is one giant component and every change used to fall back to a full
+solve.  There the warm-started re-solver (replay the previous solve's
+saturation prefix, re-solve only the suffix — see ``docs/performance.md``)
+is compared against the warm-start-disabled incremental allocator (the
+PR 2 baseline), plus one verify-mode pass shadow-checking every
+warm-started solve against the from-scratch solver.  Run it as a script::
 
     PYTHONPATH=src python benchmarks/bench_allocator_scaling.py [--quick]
-        [--flows 16,64,256] [--jobs N]
+        [--flows 16,64,256] [--jobs N] [--skip-dense]
 
-It exits non-zero unless, for every model at >= 64 flows, the incremental
-mode's combined allocator+horizon work per membership change is strictly
-below the full-recompute/linear-scan baseline (the acceptance bar for the
-sub-linear hot loop).
+It exits non-zero unless, at >= 64 flows, (a) for every model the
+incremental mode's combined allocator+horizon work per membership change
+is strictly below the full-recompute/linear-scan baseline (the acceptance
+bar for the sub-linear hot loop), and (b) in the dense regime the
+warm-started maxmin/packet allocators do strictly less work per change —
+and strictly fewer full fallbacks — than with warm starts disabled.
 """
 
 from __future__ import annotations
@@ -52,16 +63,31 @@ from repro.netmodel.star import EqualShareStarNetwork
 NETWORK_MODELS = ("maxmin", "equal-share", "packet", "backplane")
 CPU_MODELS = ("shared-cpu", "timeslice-cpu")
 MODELS = NETWORK_MODELS + CPU_MODELS
+#: Models whose component allocator supports the warm-started re-solve.
+WARM_MODELS = ("maxmin", "packet")
 
 
-def _build_network(model: str, kernel: Kernel, num_nodes: int, incremental: bool):
+def _build_network(
+    model: str,
+    kernel: Kernel,
+    num_nodes: int,
+    incremental: bool,
+    warm_start: bool = True,
+    verify: bool = False,
+):
     params = NetworkParams(latency=0.0, bandwidth=1e6)
     if model == "maxmin":
-        return MaxMinStarNetwork(kernel, params, incremental=incremental)
+        return MaxMinStarNetwork(
+            kernel, params, incremental=incremental,
+            warm_start=warm_start, verify_incremental=verify,
+        )
     if model == "equal-share":
         return EqualShareStarNetwork(kernel, params, incremental=incremental)
     if model == "packet":
-        return PacketNetwork(kernel, params, seed=11, incremental=incremental)
+        return PacketNetwork(
+            kernel, params, seed=11, incremental=incremental,
+            warm_start=warm_start, verify_incremental=verify,
+        )
     if model == "backplane":
         # 1.0 oversubscription: a fabric that carries every port one-way at
         # line rate — congested only under pathological traffic, which is
@@ -94,6 +120,7 @@ class ChurnResult:
     membership_changes: int
     rates_computed: int
     full_fallbacks: int
+    warm_starts: int
     verify_recomputes: int
     heap_ops: int
     scan_cost: int
@@ -117,22 +144,48 @@ class ChurnResult:
     @property
     def work_per_change(self) -> float:
         """Combined allocator + *real* horizon work per membership change."""
-        horizon = self.heap_ops if self.mode == "incremental" else self.scan_cost
+        horizon = self.scan_cost if self.mode == "full" else self.heap_ops
         return (self.rates_computed + horizon) / max(self.membership_changes, 1)
 
 
+def _dense_node_count(flows: int) -> int:
+    """Smallest node count whose all-to-all pair space covers ``flows``."""
+    n = 2
+    while n * (n - 1) < flows:
+        n += 1
+    return n
+
+
 def run_churn(
-    model: str, incremental: bool, flows: int, completions: int, seed: int = 7
+    model: str,
+    incremental: bool,
+    flows: int,
+    completions: int,
+    seed: int = 7,
+    dense: bool = False,
+    warm_start: bool = True,
+    verify: bool = False,
+    label: str | None = None,
 ) -> ChurnResult:
-    """Steady-state churn: ``flows`` concurrent tasks, replaced on completion."""
+    """Steady-state churn: ``flows`` concurrent tasks, replaced on completion.
+
+    ``dense=True`` squeezes the flows onto the smallest node count whose
+    all-to-all pair space covers them, making the flow/link graph one giant
+    component (every change cascades).  ``warm_start=False`` is the PR 2
+    baseline; ``verify=True`` shadow-checks every incremental solve.
+    ``label`` overrides the derived mode name in the result row.
+    """
     kernel = Kernel()
     rng = random.Random(seed)
-    num_nodes = max(flows, 4)
+    num_nodes = _dense_node_count(flows) if dense else max(flows, 4)
     total = flows + completions
     spawned = 0
 
     if model in NETWORK_MODELS:
-        resource = _build_network(model, kernel, num_nodes, incremental)
+        resource = _build_network(
+            model, kernel, num_nodes, incremental,
+            warm_start=warm_start, verify=verify,
+        )
 
         def submit() -> None:
             nonlocal spawned
@@ -162,11 +215,12 @@ def run_churn(
     kernel.run()
     wall = time.perf_counter() - start
 
+    mode = label or ("incremental" if incremental else "full")
     stats = resource.allocator.stats
     horizon = resource.horizon_stats
     return ChurnResult(
         model=model,
-        mode="incremental" if incremental else "full",
+        mode=mode,
         flows=flows,
         wall_time=wall,
         events=kernel.events_executed,
@@ -175,6 +229,7 @@ def run_churn(
         membership_changes=2 * spawned,
         rates_computed=stats.rates_computed,
         full_fallbacks=stats.full_fallbacks,
+        warm_starts=stats.warm_starts,
         verify_recomputes=stats.verify_recomputes,
         heap_ops=horizon.heap_ops,
         scan_cost=horizon.scan_cost,
@@ -202,6 +257,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the scenario grid (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--skip-dense", action="store_true",
+        help="skip the dense-traffic warm-start regime",
     )
     args = parser.parse_args(argv)
 
@@ -231,38 +290,76 @@ def main(argv=None) -> int:
         for flows in flow_counts
         for incremental in (False, True)
     ]
+    dense_models = tuple(m for m in models if m in WARM_MODELS)
+    dense_scenarios = []
+    if not args.skip_dense:
+        dense_scenarios = [
+            # (model, incremental, flows, completions, seed, dense,
+            #  warm_start, verify, label)
+            (model, True, flows, churn_factor * flows, 7, True, warm, False,
+             "warm" if warm else "no-warm")
+            for model in dense_models
+            for flows in flow_counts
+            for warm in (False, True)
+        ]
+        # One shadow-checked pass per model at the smallest gated flow
+        # count: verify mode raises inside the run on any divergence
+        # between a warm-started solve and the from-scratch solver.
+        verify_flows = [f for f in flow_counts if f >= 64] or flow_counts
+        dense_scenarios += [
+            (model, True, min(verify_flows), churn_factor * min(verify_flows),
+             7, True, True, True, "warm+verify")
+            for model in dense_models
+        ]
+    all_scenarios = scenarios + dense_scenarios
     if args.jobs != 1:
         with multiprocessing.Pool(processes=args.jobs or None) as pool:
-            results = pool.map(_run_scenario, scenarios)
+            all_results = pool.map(_run_scenario, all_scenarios)
     else:
-        results = [_run_scenario(s) for s in scenarios]
+        all_results = [_run_scenario(s) for s in all_scenarios]
+    results = all_results[: len(scenarios)]
+    dense_results = all_results[len(scenarios):]
 
     header = (
         f"{'model':<14} {'mode':<12} {'flows':>6} {'events/s':>9} "
-        f"{'rates/chg':>10} {'fallbacks':>10} {'horizon/chg':>12} "
+        f"{'rates/chg':>10} {'fallbacks':>10} {'warm':>6} {'horizon/chg':>12} "
         f"{'scan/chg':>9} {'work/chg':>9} {'wall [s]':>9}"
     )
-    print(header)
-    print("-" * len(header))
-    for res in results:
-        horizon = (
-            f"{res.heap_ops_per_change:.2f}"
-            if res.mode == "incremental"
-            else f"({res.heap_ops_per_change:.2f})"
-        )
-        print(
-            f"{res.model:<14} {res.mode:<12} {res.flows:>6} "
-            f"{res.events_per_sec:>9.0f} {res.rates_per_change:>10.2f} "
-            f"{res.full_fallbacks:>10} {horizon:>12} "
-            f"{res.scan_per_change:>9.2f} {res.work_per_change:>9.2f} "
-            f"{res.wall_time:>9.3f}"
-        )
+
+    def print_rows(rows):
+        print(header)
+        print("-" * len(header))
+        for res in rows:
+            horizon = (
+                f"({res.heap_ops_per_change:.2f})"
+                if res.mode == "full"
+                else f"{res.heap_ops_per_change:.2f}"
+            )
+            print(
+                f"{res.model:<14} {res.mode:<12} {res.flows:>6} "
+                f"{res.events_per_sec:>9.0f} {res.rates_per_change:>10.2f} "
+                f"{res.full_fallbacks:>10} {res.warm_starts:>6} {horizon:>12} "
+                f"{res.scan_per_change:>9.2f} {res.work_per_change:>9.2f} "
+                f"{res.wall_time:>9.3f}"
+            )
+
+    print_rows(results)
     print(
         "\nhorizon/chg = real heap pushes+pops per membership change; "
         "scan/chg = what the\npre-heap O(n) scan would have cost.  The "
         "full mode pays scan/chg (heap figures\nin parentheses are "
-        "informational); work/chg combines allocator + horizon."
+        "informational); work/chg combines allocator + horizon; warm = "
+        "cascades\nresolved by saturation-prefix replay instead of a full "
+        "fallback."
     )
+    if dense_results:
+        print(
+            "\ndense regime — all-to-all flows on one star (one giant "
+            "component; every\nchange cascades).  no-warm = PR 2 baseline "
+            "(warm starts disabled); warm+verify\nshadow-checks every "
+            "solve against the from-scratch solver:"
+        )
+        print_rows(dense_results)
 
     # Acceptance: combined allocator+horizon work per membership change must
     # be strictly below the full-recompute/linear-scan baseline once
@@ -285,6 +382,31 @@ def main(argv=None) -> int:
                     f"{model} @ {flows} flows: incremental work/change "
                     f"{inc.work_per_change:.2f} >= baseline {full.work_per_change:.2f}"
                 )
+    # Dense-regime acceptance: warm starts must beat the warm-start-disabled
+    # incremental allocator (the PR 2 full-fallback path) on allocator work
+    # per change AND on full-fallback count, and must actually fire.
+    dense_by_key = {(r.model, r.flows, r.mode): r for r in dense_results}
+    for model in dense_models if dense_results else ():
+        for flows in flow_counts:
+            if flows < 64:
+                continue
+            warm = dense_by_key[(model, flows, "warm")]
+            nowarm = dense_by_key[(model, flows, "no-warm")]
+            if not warm.warm_starts > 0:
+                failures.append(
+                    f"dense {model} @ {flows} flows: no warm start ever fired"
+                )
+            if not warm.rates_per_change < nowarm.rates_per_change:
+                failures.append(
+                    f"dense {model} @ {flows} flows: warm rates/change "
+                    f"{warm.rates_per_change:.2f} >= no-warm "
+                    f"{nowarm.rates_per_change:.2f}"
+                )
+            if not warm.full_fallbacks < nowarm.full_fallbacks:
+                failures.append(
+                    f"dense {model} @ {flows} flows: warm fallbacks "
+                    f"{warm.full_fallbacks} >= no-warm {nowarm.full_fallbacks}"
+                )
     if failures:
         print("\nFAIL: hot loop not sub-linear:", file=sys.stderr)
         for line in failures:
@@ -295,7 +417,9 @@ def main(argv=None) -> int:
         return 0
     print("\nOK: incremental allocator+horizon work per change beats the "
           "full-recompute/linear-scan\nbaseline for every model at every "
-          "flow count >= 64.")
+          "flow count >= 64" +
+          (", and dense-regime warm starts beat\nthe PR 2 full-fallback "
+           "path for maxmin/packet." if dense_results else "."))
     return 0
 
 

@@ -7,11 +7,11 @@ node (other operations, communication handling).
 
 This module also hosts :class:`NodeSlicedAllocator`, the shared incremental
 rate-allocation machinery for CPU models (see the allocator protocol in
-:mod:`repro.des.fluid`): steps on one host form a *slice group* whose rates
-depend only on that host's available power and group size, so membership
-changes re-rate one group and network refreshes re-rate only groups whose
-cached power actually moved.  Concrete models subclass it and implement
-only the per-group rate law.
+:mod:`repro.des.fluid` and ``docs/allocator_protocol.md``): steps on one
+host form a *slice group* whose rates depend only on that host's available
+power and group size, so membership changes re-rate one group and network
+refreshes re-rate only groups whose cached power actually moved.  Concrete
+models subclass it and implement only the per-group rate law.
 """
 
 from __future__ import annotations
@@ -121,6 +121,11 @@ class NodeSlicedAllocator(RateAllocator):
     network refresh re-rates only hosts whose cached power actually moved
     (the network passes the changed nodes as the ``hint``).  Subclasses
     implement :meth:`_group_rate` — the per-step rate law.
+
+    Complexity contract: a membership delta costs O(steps on the changed
+    hosts); a refresh costs O(hinted hosts) index probes plus O(steps on
+    hosts whose power moved) rate assignments; the full path is O(n).
+    See ``docs/allocator_protocol.md``.
 
     Group membership uses insertion-ordered dicts (dict-as-set) so that
     iteration order — and with it any float accumulation a subclass might

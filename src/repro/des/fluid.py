@@ -79,8 +79,14 @@ of the pre-heap linear scan, which ``benchmarks/bench_allocator_scaling.py``
 uses to demonstrate the gap.
 
 :class:`AllocatorStats` counts full recomputations, incremental updates,
-full-recompute *fallbacks* (e.g. max-min cascades past the threshold),
-verify-mode shadow recomputes, and per-task rate assignments.
+full-recompute *fallbacks* (e.g. max-min cascades whose warm-start prefix
+check failed), warm starts, verify-mode shadow recomputes, and per-task
+rate assignments.
+
+Documentation: ``docs/allocator_protocol.md`` is the contract (dirty
+sets, the shared geometry bases, the warm-start invariants);
+``docs/performance.md`` is the design and measurement story (solver
+complexity, counters, the scaling bench).
 """
 
 from __future__ import annotations
@@ -101,6 +107,9 @@ _COMPLETION_ATOL = 1e-12
 
 #: Tolerance of the exact-equivalence (``verify=True``) shadow check.
 VERIFY_RTOL = 1e-9
+
+#: Below this heap size, stale entries are too cheap to be worth compacting.
+_COMPACT_MIN_ENTRIES = 64
 
 
 class FluidTask:
@@ -233,15 +242,27 @@ Allocator = Callable[[Collection[FluidTask]], None]
 
 @dataclass
 class AllocatorStats:
-    """Work counters for allocator benchmarking and regression tests."""
+    """Work counters for allocator benchmarking and regression tests.
+
+    ``full_fallbacks`` and ``warm_starts`` partition the cascade events of
+    a component allocator: a cascade either warm-starts (the previous
+    solve's saturation prefix replays, only the suffix is re-solved and
+    counted in ``rates_computed``) or falls back to a full solve (every
+    rate is recomputed).  See ``docs/allocator_protocol.md``.
+    """
 
     #: full recomputations over the whole task list (pool-requested)
     full_allocations: int = 0
     #: incremental (dirty-set-bounded) updates
     incremental_updates: int = 0
     #: incremental updates that *fell back* to a real full recompute
-    #: (e.g. a max-min cascade past the threshold, or baseline mode)
+    #: (e.g. a max-min cascade whose warm-start prefix check failed, or
+    #: baseline mode)
     full_fallbacks: int = 0
+    #: cascades resolved by replaying the previous solve's saturation
+    #: prefix and re-solving only the suffix (never also counted as a
+    #: fallback)
+    warm_starts: int = 0
     #: verify-mode shadow recomputes (diagnostics only — not real work the
     #: production configuration would perform)
     verify_recomputes: int = 0
@@ -254,6 +275,7 @@ class AllocatorStats:
         self.full_allocations = 0
         self.incremental_updates = 0
         self.full_fallbacks = 0
+        self.warm_starts = 0
         self.verify_recomputes = 0
         self.refreshes = 0
         self.rates_computed = 0
@@ -279,6 +301,9 @@ class HorizonStats:
     events: int = 0
     #: hypothetical cost of the O(n)-scan baseline over the same run
     scan_cost: int = 0
+    #: heap rebuilds triggered by the stale-entry fraction exceeding 3/4
+    #: (each costs O(live entries) and bounds heap memory within a burst)
+    compactions: int = 0
 
     @property
     def heap_ops(self) -> int:
@@ -291,6 +316,7 @@ class HorizonStats:
         self.stale_discards = 0
         self.events = 0
         self.scan_cost = 0
+        self.compactions = 0
 
 
 def pool_horizon_stats(model: Any) -> Optional[HorizonStats]:
@@ -340,6 +366,11 @@ class RateAllocator:
 
     # ------------------------------------------------------------ pool entry
     def allocate(self, tasks: Collection[FluidTask]) -> None:
+        """Assign every task's rate from scratch — O(n) at minimum.
+
+        The non-incremental entry point (legacy callables, baseline
+        mode); counted in ``stats.full_allocations``.
+        """
         self.stats.full_allocations += 1
         self.stats.rates_computed += len(tasks)
         self._full(tasks)
@@ -350,11 +381,24 @@ class RateAllocator:
         added: Sequence[FluidTask],
         removed: Sequence[FluidTask],
     ) -> None:
-        """Deliver a membership delta (thin wrapper over :meth:`apply`)."""
+        """Deliver a membership delta (thin wrapper over :meth:`apply`).
+
+        Dirty-set contract: on return every task in ``tasks`` carries the
+        rate a full recompute would assign (within ~1e-9 relative), and
+        all bookkeeping for ``removed`` tasks is dropped.  Cost is
+        implementation-defined but bounded by the dirty set for the
+        shared geometry bases (see ``docs/allocator_protocol.md``), not
+        by ``len(tasks)``.
+        """
         self.apply(tasks, added, removed)
 
     def refresh(self, tasks: Collection[FluidTask], hint: Any = None) -> None:
-        """Deliver an external refresh (thin wrapper over :meth:`apply`)."""
+        """Deliver an external refresh (thin wrapper over :meth:`apply`).
+
+        ``hint`` bounds the recomputation (e.g. the node ids whose
+        transfer counts changed); ``None`` means unknown — refresh
+        everything the law depends on.
+        """
         self.apply(tasks, (), (), refresh=True, hint=hint)
 
     def apply(
@@ -623,6 +667,35 @@ class FluidPool:
                 self.horizon.heap_pushes += 1
             else:
                 task._entry = None
+        # Compaction: within one event burst the heap never pops below its
+        # high-water mark of stale entries; rebuild it when stale entries
+        # dominate.  Live entries number at most len(tasks) (one per rated
+        # task), so heap > 4 * len(tasks) implies a stale fraction > 3/4.
+        # Amortized O(1): a rebuild costs O(live) and at least 3 * live
+        # pushes must happen before the next one can trigger.
+        if (
+            len(self._heap) >= _COMPACT_MIN_ENTRIES
+            and len(self._heap) > 4 * len(self._tasks)
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop every stale heap entry and re-heapify the live ones."""
+        live = [
+            entry
+            for entry in self._heap
+            if entry[3].pool is self and entry[3]._entry == entry[2]
+        ]
+        # Each discarded entry would otherwise have cost one counted pop
+        # when it surfaced; charge the rebuild the same way so heap_ops
+        # keeps reflecting real horizon work (and stale_discards stays a
+        # subset of heap_pops, as documented).
+        discarded = len(self._heap) - len(live)
+        self.horizon.heap_pops += discarded
+        self.horizon.stale_discards += discarded
+        heapq.heapify(live)
+        self._heap = live
+        self.horizon.compactions += 1
 
     def _peek_valid(self) -> Optional[tuple[float, int, int, FluidTask]]:
         """Top live heap entry, lazily discarding stale ones."""

@@ -22,6 +22,7 @@ from repro.netmodel.base import (
     StarFlowAllocator,
     Transfer,
 )
+from repro.netmodel.waterfill import Link, MaxMinSolution, maxmin_solve
 from repro.netmodel.analytic import AnalyticNetwork
 from repro.netmodel.backplane import BackplaneStarNetwork
 from repro.netmodel.star import EqualShareStarNetwork
@@ -30,6 +31,9 @@ from repro.netmodel.packet import PacketNetwork, PacketNetworkParams
 from repro.netmodel.calibration import CalibrationResult, calibrate
 
 __all__ = [
+    "Link",
+    "MaxMinSolution",
+    "maxmin_solve",
     "NetworkParams",
     "NetworkModel",
     "StarFlowAllocator",

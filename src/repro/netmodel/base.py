@@ -14,11 +14,14 @@ the star topology (see the allocator protocol in :mod:`repro.des.fluid`):
   *single-hop* dirty sets, for sharing laws without redistribution (the
   paper's equal-share law, the finite-backplane variant);
 * :class:`LinkComponentAllocator` — a link → flows index plus BFS over
-  connected components of the bipartite flow/link graph, for laws where a
-  change cascades transitively through chained bottlenecks (max-min
+  connected components of the bipartite flow/link graph, with a
+  warm-started re-solve for cascades that swallow the pool (max-min
   water-filling, the packet-level testbed model).
 
 Concrete models subclass one of these and implement only the rate law.
+The dirty-set contract lives in ``docs/allocator_protocol.md`` (including
+the warm-start invariants); the complexity story in
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.des.fluid import FluidTask, RateAllocator, pool_horizon_stats
 from repro.des.kernel import Kernel
 from repro.errors import SimulationError
 from repro.netmodel.params import NetworkParams
+from repro.netmodel.waterfill import Link, MaxMinSolution, maxmin_solve
 from repro.util.validation import check_non_negative
 
 #: Callback type invoked when a transfer completes.
@@ -175,8 +179,17 @@ class NetworkModel(ABC):
 # shared incremental-allocator machinery (star topology)
 # --------------------------------------------------------------------------
 
-#: A link of the star topology: egress ("out") or ingress ("in") of a node.
-Link = tuple[str, int]
+# ``Link`` is defined in :mod:`repro.netmodel.waterfill` (the solver core)
+# and re-exported here, where model code conventionally imports it from.
+__all__ = [
+    "ActivityListener",
+    "CompletionCallback",
+    "Link",
+    "LinkComponentAllocator",
+    "NetworkModel",
+    "StarFlowAllocator",
+    "Transfer",
+]
 
 
 class StarFlowAllocator(RateAllocator):
@@ -187,8 +200,13 @@ class StarFlowAllocator(RateAllocator):
     no transitive cascade.  This base maintains insertion-ordered per-node
     egress/ingress indices (dict-as-set: id-hashed set iteration would vary
     between runs and leak float nondeterminism into subclasses that
-    accumulate over the dirty set) and computes that one-hop dirty set;
-    subclasses implement only the rate law:
+    accumulate over the dirty set) and computes that one-hop dirty set.
+
+    Complexity contract: a membership delta costs O(dirty) — the flows
+    sharing a link with the changed flows — plus whatever the subclass
+    rate law adds; the full path is O(n).  See
+    ``docs/allocator_protocol.md``.  Subclasses implement only the rate
+    law:
 
     * :meth:`_full_rates` — assign every task's rate (full recompute);
     * :meth:`_update_rates` — assign rates for the dirty tasks, returning
@@ -288,19 +306,64 @@ class StarFlowAllocator(RateAllocator):
         self.stats.rates_computed += self._update_rates(dirty, tasks)
 
 
+#: Relative tolerance of the warm-start prefix check: an affected link
+#: whose fair share undercuts a replayed round's share by more than this
+#: invalidates the prefix from that round on.  Mathematically-equal shares
+#: (ties) are accepted — the max-min fixed point is unique, so tie-order
+#: differences cannot change the resulting rates.
+_WARM_RTOL = 1e-9
+
+
+class _WarmSolution:
+    """Cached saturation order of the last whole-pool water-filling solve.
+
+    ``rounds`` mirrors :class:`repro.netmodel.waterfill.MaxMinSolution`
+    rounds but references the live :class:`FluidTask` objects instead of
+    flow indices, so a later update can replay it against the current
+    membership.  ``capacity`` pins the link capacity the solve ran under —
+    a capacity edit invalidates the cache.
+    """
+
+    __slots__ = ("capacity", "rounds")
+
+    def __init__(
+        self,
+        capacity: float,
+        rounds: list[tuple[Link, float, tuple[FluidTask, ...]]],
+    ) -> None:
+        self.capacity = capacity
+        self.rounds = rounds
+
+
 class LinkComponentAllocator(RateAllocator):
-    """Link → flows index with BFS over connected components.
+    """Link → flows index with BFS over connected components + warm start.
 
     For sharing laws where bandwidth unused by flows bottlenecked elsewhere
     is redistributed (max-min water-filling and its derivatives), a
     membership change cascades transitively through chained bottlenecks —
     but never past the connected component of the bipartite flow/link graph
     containing the changed flows.  This base maintains the link index,
-    finds the affected component by BFS, and re-solves only that component
-    through the :meth:`_solve` hook, falling back to a full re-solve when
-    the component cascades past ``cascade_threshold`` of the active flows
-    (at which point the restricted solve would cost as much as the full
-    one).  Fallbacks are counted in ``stats.full_fallbacks``.
+    finds the affected component by BFS (O(component)), and re-solves only
+    that component.
+
+    When the component cascades past ``cascade_threshold`` of the active
+    flows — the dense-traffic regime where the whole pool is one giant
+    component — the restricted solve would cost as much as a full one.
+    Instead of always falling back, the allocator *warm-starts*: it caches
+    the previous whole-pool solve's link saturation order and frozen-rate
+    assignment, re-freezes the prefix of saturation rounds whose residual
+    constraints are untouched by the delta, and re-solves only the suffix
+    (see ``docs/performance.md`` for the validity argument and
+    ``docs/allocator_protocol.md`` for the counter contract).  A successful
+    warm start increments ``stats.warm_starts`` and counts only the suffix
+    in ``stats.rates_computed``; when the prefix check fails (or no cache
+    is available) the allocator falls back to the full solve and increments
+    ``stats.full_fallbacks``.
+
+    Subclasses provide the flow geometry via :meth:`_flow` and the rate
+    application via :meth:`_apply_rate` (e.g. the packet model multiplies
+    in its per-transfer throughput factor).  The water-filling solve itself
+    is :func:`repro.netmodel.waterfill.maxmin_solve`.
     """
 
     def __init__(
@@ -308,14 +371,17 @@ class LinkComponentAllocator(RateAllocator):
         capacity: float,
         cascade_threshold: float = 0.5,
         verify: bool = False,
+        warm_start: bool = True,
     ) -> None:
         super().__init__(verify=verify)
         self.capacity = capacity
         self.cascade_threshold = cascade_threshold
+        self.warm_start = warm_start
         # Insertion-ordered (dict-as-set): set iteration over id-hashed
         # tasks or str-hashed links would vary between process runs and
         # leak float nondeterminism into the solve order.
         self._link_tasks: dict[Link, dict[FluidTask, None]] = {}
+        self._warm: Optional[_WarmSolution] = None
 
     # ---------------------------------------------------------------- hooks
     def _flow(self, task: FluidTask) -> tuple[int, int]:
@@ -323,9 +389,29 @@ class LinkComponentAllocator(RateAllocator):
         transfer = task.tag
         return transfer.src, transfer.dst
 
-    def _solve(self, tasks: Sequence[FluidTask]) -> None:
-        """Assign rates to ``tasks`` (a component, or everything)."""
-        raise NotImplementedError
+    def _apply_rate(self, task: FluidTask, rate: float) -> None:
+        """Apply a fair ``rate`` to ``task`` (subclass hook).
+
+        The warm-start machinery reasons about *fair* rates; subclasses
+        layering a per-task factor on top (e.g. the packet model's seeded
+        throughput factor) override this to fold the factor in — which
+        stays warm-start-exact because the factor is per-task constant.
+        """
+        task.rate = rate
+
+    def _solve(self, tasks: Sequence[FluidTask]) -> Optional[MaxMinSolution]:
+        """Water-fill ``tasks`` (a component, or everything) at full capacity.
+
+        Returns the :class:`~repro.netmodel.waterfill.MaxMinSolution` so
+        whole-pool solves can cache the saturation order for warm starts.
+        Overriding this with a non-water-filling law is allowed but should
+        return ``None`` (disabling warm starts) unless the override
+        produces a valid saturation order.
+        """
+        solution = maxmin_solve([self._flow(t) for t in tasks], self.capacity)
+        for task, rate in zip(tasks, solution.rates):
+            self._apply_rate(task, rate)
+        return solution
 
     # -------------------------------------------------------------- helpers
     def _links(self, task: FluidTask) -> tuple[Link, Link]:
@@ -345,7 +431,11 @@ class LinkComponentAllocator(RateAllocator):
                     del self._link_tasks[link]
 
     def _component(self, seed_links: Sequence[Link]) -> list[FluidTask]:
-        """Flows reachable from ``seed_links`` in the flow/link graph."""
+        """Flows reachable from ``seed_links`` in the flow/link graph.
+
+        O(component flows + component links) — the BFS never leaves the
+        connected component containing the seeds.
+        """
         dirty: set[FluidTask] = set()
         ordered: list[FluidTask] = []
         frontier = [link for link in seed_links if link in self._link_tasks]
@@ -363,14 +453,119 @@ class LinkComponentAllocator(RateAllocator):
                         frontier.append(other)
         return ordered
 
+    def _solve_all(self, tasks: list[FluidTask]) -> None:
+        """Whole-pool solve; caches the saturation order for warm starts."""
+        solution = self._solve(tasks)
+        if solution is not None and self.warm_start:
+            self._warm = _WarmSolution(
+                self.capacity,
+                [
+                    (link, share, tuple(tasks[i] for i in indices))
+                    for link, share, indices in solution.rounds
+                ],
+            )
+        else:
+            self._warm = None
+
+    def _warm_solve(
+        self, tasks: Collection[FluidTask], affected: list[Link]
+    ) -> bool:
+        """Re-solve after a cascade by replaying the cached saturation order.
+
+        The delta (added/removed flows) directly perturbs only the links in
+        ``affected``; every other link's residual capacity and unfrozen-flow
+        count replay identically until the first round whose bottleneck is
+        an affected link or whose share an affected link undercuts.  The
+        prefix of rounds before that point re-freezes byte-identically (the
+        frozen tasks keep their rates — no reassignment, no horizon-heap
+        work), and only the remaining flows are re-solved against the
+        prefix's residual capacities.
+
+        Returns ``True`` on success (rates assigned, cache refreshed);
+        ``False`` when no usable prefix exists — the caller then performs
+        the accounted full fallback.  Cost: O(prefix flows + rounds ·
+        |affected|) for the replay plus a suffix-sized bottleneck search.
+        """
+        warm = self._warm
+        affected_set = set(affected)
+        # Unfrozen-flow counts on the affected links under the *new*
+        # membership (added flows included, removed flows gone).
+        counts = {
+            link: len(self._link_tasks.get(link, ())) for link in affected
+        }
+        consumed: dict[Link, float] = {}
+        frozen: dict[FluidTask, None] = {}
+        prefix: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
+        for entry in warm.rounds:
+            bottleneck, share, round_tasks = entry
+            if bottleneck in affected_set:
+                # The delta touched this round's bottleneck link: its share
+                # (and, for removals, its frozen-flow set) may be wrong.
+                break
+            undercut = False
+            for link in affected:
+                count = counts[link]
+                if count > 0 and (
+                    self.capacity - consumed.get(link, 0.0)
+                    < share * count * (1.0 - _WARM_RTOL)
+                ):
+                    # An affected link's fair share genuinely dropped below
+                    # this round's share — in the true solve it would have
+                    # become the bottleneck first.  (Ties are accepted: the
+                    # max-min fixed point is unique, so order is irrelevant.)
+                    undercut = True
+                    break
+            if undercut:
+                break
+            # Accept the round.  Every frozen task is still present: a
+            # removed task's links are both in ``affected``, so the round
+            # that froze it has an affected bottleneck and broke above.
+            for task in round_tasks:
+                frozen[task] = None
+                for link in self._links(task):
+                    consumed[link] = consumed.get(link, 0.0) + share
+                    if link in counts:
+                        counts[link] -= 1
+            prefix.append(entry)
+        if not prefix:
+            return False
+        suffix = [task for task in tasks if task not in frozen]
+        self.stats.warm_starts += 1
+        self.stats.rates_computed += len(suffix)
+        suffix_rounds: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
+        if suffix:
+            residual = {
+                link: max(0.0, self.capacity - used)
+                for link, used in consumed.items()
+            }
+            solution = maxmin_solve(
+                [self._flow(t) for t in suffix], self.capacity, residual=residual
+            )
+            for task, rate in zip(suffix, solution.rates):
+                self._apply_rate(task, rate)
+            suffix_rounds = [
+                (link, share, tuple(suffix[i] for i in indices))
+                for link, share, indices in solution.rounds
+            ]
+        # Prefix shares are <= every suffix share (the suffix starts at the
+        # break point's residual state), so the concatenation is itself a
+        # valid saturation order for the current membership — reusable by
+        # the next warm start.
+        self._warm = _WarmSolution(self.capacity, prefix + suffix_rounds)
+        return True
+
     # ------------------------------------------------------------- allocator
     def _full(self, tasks: Collection[FluidTask]) -> None:
-        # Rebuild the link index from scratch: the full path must not
-        # depend on incremental bookkeeping being in sync.
+        """Rebuild the link index and solve everything from scratch.
+
+        The full path must not depend on incremental bookkeeping being in
+        sync (verify mode and fallbacks run it mid-stream); it refreshes
+        the warm-start cache as a side effect.  O((n + L) · log L).
+        """
         self._link_tasks = {}
         for task in tasks:
             self._register(task)
-        self._solve(list(tasks))
+        self._solve_all(list(tasks))
 
     def _update(
         self,
@@ -378,6 +573,16 @@ class LinkComponentAllocator(RateAllocator):
         added: Sequence[FluidTask],
         removed: Sequence[FluidTask],
     ) -> None:
+        """Dirty-set update: component re-solve, warm start, or fallback.
+
+        Dirty set = the connected component of the changed flows.  Below
+        the cascade threshold the component is re-solved at full capacity
+        (exact, because components are closed under water-filling) and the
+        warm cache — a whole-pool saturation order — is invalidated.  At or
+        past the threshold the warm-started re-solve is attempted first;
+        only when its prefix check fails does the allocator pay the full
+        solve, counted in ``stats.full_fallbacks``.
+        """
         # Ordered dedup (not a set) for the determinism reason above.
         seed_links: dict[Link, None] = {}
         for task in removed:
@@ -389,14 +594,29 @@ class LinkComponentAllocator(RateAllocator):
             for link in self._links(task):
                 seed_links[link] = None
         if not tasks:
+            # The cached saturation order references flows that are gone;
+            # nothing valid can be replayed from it.
+            self._warm = None
             return
         dirty = self._component(list(seed_links))
         if len(dirty) > self.cascade_threshold * len(tasks):
             # The cascade reaches most of the pool; the restricted solve
-            # would cost as much as the full one, so do the full one.
+            # would cost as much as the full one.  Replay the previous
+            # solve's saturation prefix when one is cached and valid.
+            if (
+                self.warm_start
+                and self._warm is not None
+                and self._warm.capacity == self.capacity
+                and self._warm_solve(tasks, list(seed_links))
+            ):
+                return
             self.stats.full_fallbacks += 1
             self.stats.rates_computed += len(tasks)
-            self._solve(list(tasks))
+            self._solve_all(list(tasks))
             return
+        # A partial re-solve leaves the cached whole-pool saturation order
+        # stale; drop it (cheap — dense traffic, where warm starts matter,
+        # rarely takes this branch).
+        self._warm = None
         self.stats.rates_computed += len(dirty)
         self._solve(dirty)

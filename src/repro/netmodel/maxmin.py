@@ -13,32 +13,31 @@ Rate allocation is *incremental* by default: max-min rates decompose over
 connected components of the bipartite flow/link graph, so when a flow
 arrives or departs only the flows in its component — those sharing a link
 with it directly or transitively through chained bottlenecks — can change
-rate.  The component tracking (link index, BFS, cascade fallback) lives in
-:class:`~repro.netmodel.base.LinkComponentAllocator`;
-:class:`IncrementalMaxMinAllocator` contributes only the water-filling
-solve.
+rate.  The component tracking (link index, BFS, cascade fallback) and the
+warm-started re-solve that kicks in when the component swallows the pool
+live in :class:`~repro.netmodel.base.LinkComponentAllocator`; the
+bottleneck-search solve itself lives in
+:mod:`repro.netmodel.waterfill`.  See ``docs/performance.md`` for the
+design and ``docs/allocator_protocol.md`` for the dirty-set contract.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Sequence
-
 from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
-from repro.errors import SimulationError
-from repro.netmodel.base import Link, LinkComponentAllocator, NetworkModel, Transfer
+from repro.netmodel.base import LinkComponentAllocator, NetworkModel, Transfer
 from repro.netmodel.params import NetworkParams
-
-
-def _flow_links(src: int, dst: int) -> tuple[Link, Link]:
-    return ("out", src), ("in", dst)
+from repro.netmodel.waterfill import maxmin_solve
 
 
 def maxmin_rates(
     flows: list[tuple[int, int]], capacity: float
 ) -> list[float]:
     """Water-filling rate allocation on a star topology.
+
+    A thin wrapper over :func:`repro.netmodel.waterfill.maxmin_solve` that
+    returns only the rates — the reference solver the verify-mode shadow
+    and the equivalence test-suites compare against.
 
     Parameters
     ----------
@@ -51,53 +50,13 @@ def maxmin_rates(
     Returns
     -------
     list of rates, one per flow, in input order.
+
+    Complexity: O((F + L) · log L) — the per-link residual capacities and
+    unfrozen-flow counts are kept in a lazy min-heap keyed by fair share,
+    so each saturation round costs O(links touched · log L) instead of the
+    historical rescan of every flow per round.
     """
-    n = len(flows)
-    rates = [0.0] * n
-    if n == 0:
-        return rates
-    # Link keys: ("out", node) and ("in", node).
-    remaining_cap: dict[Link, float] = {}
-    link_flows: dict[Link, set[int]] = {}
-    for i, (src, dst) in enumerate(flows):
-        for link in _flow_links(src, dst):
-            remaining_cap.setdefault(link, capacity)
-            link_flows.setdefault(link, set()).add(i)
-    unfrozen = set(range(n))
-    while unfrozen:
-        # Find the bottleneck link: smallest fair share among active links.
-        bottleneck_share = math.inf
-        bottleneck_link = None
-        for link, members in link_flows.items():
-            active = members & unfrozen
-            if not active:
-                continue
-            share = remaining_cap[link] / len(active)
-            if share < bottleneck_share:
-                bottleneck_share = share
-                bottleneck_link = link
-        if bottleneck_link is None:  # pragma: no cover - defensive
-            break
-        # Freeze every unfrozen flow crossing the bottleneck at that share.
-        frozen_now = link_flows[bottleneck_link] & unfrozen
-        for i in frozen_now:
-            rates[i] = bottleneck_share
-            unfrozen.discard(i)
-            src, dst = flows[i]
-            for link in _flow_links(src, dst):
-                # Clamp: repeated subtraction can drift a hair below zero
-                # under float error, and a negative residual would later
-                # surface as a negative fair share — an invalid rate.
-                remaining_cap[link] = max(0.0, remaining_cap[link] - bottleneck_share)
-    # Invariant: no link carries more than its capacity (modulo rounding).
-    for link, members in link_flows.items():
-        allocated = sum(rates[i] for i in members)
-        if allocated > capacity * (1.0 + 1e-9) + 1e-12:
-            raise SimulationError(
-                f"max-min allocation over capacity on link {link!r}: "
-                f"{allocated!r} > {capacity!r}"
-            )
-    return rates
+    return maxmin_solve(flows, capacity).rates
 
 
 class IncrementalMaxMinAllocator(LinkComponentAllocator):
@@ -108,23 +67,27 @@ class IncrementalMaxMinAllocator(LinkComponentAllocator):
     the allocator recomputes rates only for the connected component of the
     flow/link graph containing the changed flows; flows sharing no link —
     even transitively — keep their rates, which is exact because water
-    filling decomposes over components.
-    """
+    filling decomposes over components.  When the component cascades past
+    the threshold, the warm-started re-solve inherited from
+    :class:`~repro.netmodel.base.LinkComponentAllocator` replays the
+    previous solve's saturation prefix and re-solves only the suffix the
+    delta touched.
 
-    def _solve(self, tasks: Sequence[FluidTask]) -> None:
-        rates = maxmin_rates(
-            [self._flow(t) for t in tasks], self.capacity
-        )
-        for task, rate in zip(tasks, rates):
-            task.rate = rate
+    The entire behaviour — component BFS, warm start, fallback accounting —
+    is the base class's; this subclass only documents the pairing with
+    :class:`MaxMinStarNetwork`.
+    """
 
 
 class MaxMinStarNetwork(NetworkModel):
     """Star-topology fluid network with max-min fair bandwidth sharing.
 
     ``incremental=False`` restores the full-recompute-per-event allocator
-    (the benchmark baseline); ``verify_incremental=True`` shadows every
-    incremental update with a full solve and raises on divergence.
+    (the benchmark baseline); ``warm_start=False`` keeps the incremental
+    component tracking but disables the warm-started cascade re-solve (the
+    PR 2 baseline the dense-traffic bench compares against);
+    ``verify_incremental=True`` shadows every incremental update with a
+    full solve and raises on divergence.
     """
 
     def __init__(
@@ -134,6 +97,7 @@ class MaxMinStarNetwork(NetworkModel):
         incremental: bool = True,
         verify_incremental: bool = False,
         cascade_threshold: float = 0.5,
+        warm_start: bool = True,
     ) -> None:
         super().__init__(kernel, params)
         allocator_cls = (
@@ -143,6 +107,7 @@ class MaxMinStarNetwork(NetworkModel):
             params.bandwidth,
             cascade_threshold=cascade_threshold,
             verify=verify_incremental,
+            warm_start=warm_start and incremental,
         )
         self._pool = FluidPool(kernel, self.allocator, name="maxmin-network")
 

@@ -20,12 +20,10 @@ Everything stochastic derives from an explicit seed, so testbed
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.des.fluid import FluidPool, FluidTask, FullRecomputeAllocator
 from repro.des.kernel import Kernel
 from repro.netmodel.base import LinkComponentAllocator, NetworkModel, Transfer
-from repro.netmodel.maxmin import maxmin_rates
 from repro.errors import ConfigurationError
 from repro.netmodel.params import NetworkParams
 from repro.util.rng import SeedSequenceFactory
@@ -79,18 +77,18 @@ class IncrementalPacketAllocator(LinkComponentAllocator):
     Tasks are tagged ``(transfer, throughput_factor)``.  The fair rates are
     exactly the max-min water-filling solution of the flow/link graph —
     which decomposes over connected components — and the seeded throughput
-    factor is a per-task multiplier applied afterwards, so restricting the
-    re-solve to the changed flows' component stays exact.
+    factor is a per-task multiplier applied afterwards, so both the
+    component-restricted re-solve and the warm-started cascade re-solve
+    inherited from :class:`~repro.netmodel.base.LinkComponentAllocator`
+    stay exact (prefix flows keep ``fair_share * factor`` untouched).
     """
 
     def _flow(self, task: FluidTask) -> tuple[int, int]:
         transfer = task.tag[0]
         return transfer.src, transfer.dst
 
-    def _solve(self, tasks: Sequence[FluidTask]) -> None:
-        rates = maxmin_rates([self._flow(t) for t in tasks], self.capacity)
-        for task, rate in zip(tasks, rates):
-            task.rate = rate * task.tag[1]
+    def _apply_rate(self, task: FluidTask, rate: float) -> None:
+        task.rate = rate * task.tag[1]
 
 
 class _FullPacketAllocator(FullRecomputeAllocator, IncrementalPacketAllocator):
@@ -101,8 +99,11 @@ class PacketNetwork(NetworkModel):
     """Chunked, noisy, max-min-fair star network (testbed ground truth).
 
     ``incremental=False`` restores the full-recompute-per-event allocator
-    (the benchmark baseline); ``verify_incremental=True`` shadows every
-    incremental update with a full solve and raises on divergence.
+    (the benchmark baseline); ``warm_start=False`` keeps the incremental
+    component tracking but disables the warm-started cascade re-solve (the
+    PR 2 baseline the dense-traffic bench compares against);
+    ``verify_incremental=True`` shadows every incremental update with a
+    full solve and raises on divergence.
     """
 
     def __init__(
@@ -114,6 +115,7 @@ class PacketNetwork(NetworkModel):
         incremental: bool = True,
         verify_incremental: bool = False,
         cascade_threshold: float = 0.5,
+        warm_start: bool = True,
     ) -> None:
         super().__init__(kernel, params)
         self.packet_params = packet_params or PacketNetworkParams()
@@ -125,6 +127,7 @@ class PacketNetwork(NetworkModel):
             params.bandwidth,
             cascade_threshold=cascade_threshold,
             verify=verify_incremental,
+            warm_start=warm_start and incremental,
         )
         self._pool = FluidPool(kernel, self.allocator, name="packet-network")
 

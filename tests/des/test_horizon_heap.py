@@ -282,6 +282,53 @@ def test_heap_does_less_work_than_scan_at_scale():
     assert horizon.scan_cost > 4 * horizon.heap_ops
 
 
+def test_heap_compacts_when_stale_fraction_exceeds_three_quarters(kernel):
+    """Repeated whole-pool re-rates within one burst pile up stale entries
+    without ever popping them; once they exceed 3/4 of the heap the pool
+    must rebuild it (counted in ``HorizonStats.compactions``) instead of
+    holding its high-water mark until the next completion."""
+    calls = [0]
+
+    def jittered(tasks):
+        # A slightly different rate every call so each re-rate invalidates
+        # every live entry and pushes a fresh one.
+        calls[0] += 1
+        share = 1.0 / len(tasks) * (1.0 + 0.001 * calls[0])
+        for t in tasks:
+            t.rate = share
+
+    pool = FluidPool(kernel, jittered)
+    tasks = [FluidTask(1e6, lambda t: None) for _ in range(40)]
+    for task in tasks:
+        pool.add(task)
+    assert pool.horizon.compactions == 0
+    for _ in range(8):
+        pool.reallocate()
+    assert pool.horizon.compactions >= 1
+    # After compaction the heap holds at most one live entry per task plus
+    # the sub-threshold stale remainder.
+    assert len(pool._heap) <= 4 * len(pool)
+    # The horizon index is still exact.
+    assert pool.peek_horizon() == pytest.approx(linear_scan_horizon(pool))
+    # And completions still fire correctly afterwards.
+    done = []
+    quick = FluidTask(1e-6, lambda t: done.append(kernel.now))
+    pool.add(quick)
+    kernel.run(until=kernel.now + 1.0)
+    assert len(done) == 1
+
+
+def test_small_heaps_are_never_compacted(kernel):
+    """Below the entry floor, churn must not trigger rebuilds — stale
+    entries there are cheaper to discard lazily."""
+    pool = FluidPool(kernel, equal_share(1.0))
+    task = FluidTask(1e6, lambda t: None)
+    pool.add(task)
+    for _ in range(50):
+        pool.reallocate()
+    assert pool.horizon.compactions == 0
+
+
 def test_externally_zeroed_rate_starves_instead_of_crashing(kernel):
     """Regression: a live heap entry surfacing for a task whose rate was
     zeroed via the public setter (without a reallocate) must be discarded
