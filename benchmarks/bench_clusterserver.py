@@ -5,9 +5,30 @@ malleable ones (equipartition, dynamic-efficiency-aware adaptive) on a
 synthetic stream of LU-like jobs, quantifying the claim of section 8:
 "the service rate of the cluster can be significantly increased if the
 deallocated compute nodes are assigned to other applications."
+
+The *sharded scaling regime* (``test_sharded_clusterserver_scaling``) is
+the acceptance gate of the sharded-simulation subsystem
+(``docs/sharding.md``): one huge single scenario (10k malleable jobs by
+default; ``REPRO_SHARD_BENCH_JOBS`` overrides) run three ways —
+
+* the pre-existing single-kernel eager engine (``ClusterServer``), whose
+  per-event cost is O(running jobs),
+* ``ShardedServer`` with one shard (*the* single-kernel run of the
+  sharded engine — the determinism baseline),
+* ``ShardedServer`` with four shards.
+
+Gate: the 4-shard run must be **>= 2x faster wall-clock** than the eager
+single-kernel run *and* produce a bit-identical ``ServerResult``
+(makespan, per-job turnaround/wait/slowdown, summed event counts) to the
+one-shard run; against the eager engine it must agree to float
+reassociation noise (1e-9 relative).  Determinism is the hard
+requirement; the speedup is the gate.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 from _common import SEED
 from repro.analysis.tables import ascii_table
@@ -16,9 +37,13 @@ from repro.clusterserver import (
     ClusterServer,
     EquipartitionScheduler,
     FcfsScheduler,
+    JobSpec,
+    ShardedServer,
     StaticScheduler,
+    amdahl_efficiency,
     synthetic_workload,
 )
+from repro.util.rng import SeedSequenceFactory
 
 NODES = 16
 
@@ -84,3 +109,154 @@ def test_clusterserver_policies(benchmark):
     assert (
         holder["fcfs+backfill"].mean_wait <= holder["fcfs"].mean_wait + 1e-9
     )
+
+
+# --------------------------------------------------------------------------
+# sharded scaling regime (the docs/sharding.md acceptance gate)
+# --------------------------------------------------------------------------
+
+SHARD_BENCH_JOBS = int(os.environ.get("REPRO_SHARD_BENCH_JOBS", "10000"))
+SHARD_BENCH_NODES = 500
+SHARD_GATE_SPEEDUP = 2.0
+
+
+def sharded_scenario(jobs: int = SHARD_BENCH_JOBS, seed: int = SEED):
+    """One huge clusterserver scenario: a dense stream of small jobs.
+
+    Single-node three-phase jobs at ~1 s mean interarrival keep several
+    hundred jobs running concurrently — the regime where the eager
+    single-kernel engine's O(running) per-event advance dominates and
+    kernel partitioning pays.
+    """
+    rng = SeedSequenceFactory(seed).rng("sharded-bench")
+    specs, t = [], 0.0
+    for i in range(jobs):
+        t += float(rng.exponential(1.0))
+        unit = float(rng.uniform(0.5, 1.5)) * 120.0
+        specs.append(
+            JobSpec(
+                name=f"job{i}",
+                arrival=t,
+                phase_work=(unit, unit, unit),
+                efficiency=amdahl_efficiency(0.95),
+                max_nodes=1,
+                min_nodes=1,
+                preferred_nodes=1,
+            )
+        )
+    return specs
+
+
+def _results_identical(a, b) -> bool:
+    """Bit-equality on the gated ServerResult fields."""
+    return (
+        a.makespan == b.makespan
+        and a.job_turnaround == b.job_turnaround
+        and a.job_wait == b.job_wait
+        and a.job_slowdown == b.job_slowdown
+        and a.events == b.events
+    )
+
+
+def _max_rel_err(a: dict, b: dict) -> float:
+    return max(
+        abs(a[k] - b[k]) / max(abs(b[k]), 1e-30) for k in b
+    ) if b else 0.0
+
+
+def test_sharded_clusterserver_scaling(benchmark):
+    specs = sharded_scenario()
+    scheduler = lambda: FcfsScheduler(backfill=True)  # noqa: E731
+
+    t0 = time.perf_counter()
+    eager = ClusterServer(SHARD_BENCH_NODES, scheduler()).run(specs)
+    eager_wall = time.perf_counter() - t0
+
+    single = ShardedServer(
+        SHARD_BENCH_NODES, scheduler(), shards=1, mode="inprocess"
+    )
+    serial = single.run(specs)
+
+    sharded = ShardedServer(
+        SHARD_BENCH_NODES, scheduler(), shards=4, mode="inprocess"
+    )
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.update(result=sharded.run(specs)),
+        rounds=1,
+        iterations=1,
+    )
+    result = holder["result"]
+    stats = sharded.stats
+
+    rows = [
+        ("eager single-kernel", f"{eager_wall:.2f}", f"{eager.events}", "1.00"),
+        (
+            "sharded K=1",
+            f"{single.stats.wall_s:.2f}",
+            f"{serial.events}",
+            f"{single.stats.speedup_vs(eager_wall):.2f}",
+        ),
+        (
+            "sharded K=4",
+            f"{stats.wall_s:.2f}",
+            f"{result.events}",
+            f"{stats.speedup_vs(eager_wall):.2f}",
+        ),
+    ]
+    print()
+    print(
+        ascii_table(
+            ("engine", "wall [s]", "events", "speedup"),
+            rows,
+            title=(
+                f"Sharded clusterserver — {len(specs)} jobs on "
+                f"{SHARD_BENCH_NODES} nodes ({stats.mode} shards)"
+            ),
+        )
+    )
+    print(
+        f"epochs {stats.epochs}, reallocations {stats.allocations} "
+        f"({stats.allocations_elided} elided), events/shard "
+        f"{list(stats.shard_events)}, barrier wait "
+        f"{stats.barrier_wait_s * 1e3:.1f} ms"
+    )
+
+    # Determinism gate (hard requirement): the 4-shard run reproduces the
+    # single-kernel (K=1) run bit-for-bit, and shard event totals conserve.
+    assert _results_identical(result, serial)
+    assert stats.events_total == single.stats.events_total
+    assert sum(stats.shard_jobs) == len(specs)
+    # Cross-engine validation: the eager engine agrees to reassociation
+    # noise (its per-event advance chunks progress differently).
+    assert _max_rel_err(result.job_turnaround, eager.job_turnaround) < 1e-9
+    assert abs(result.makespan - eager.makespan) < 1e-9 * eager.makespan
+    # Speedup gate: >= 2x over the eager single-kernel engine at 4 shards.
+    speedup = stats.speedup_vs(eager_wall)
+    assert speedup >= SHARD_GATE_SPEEDUP, (
+        f"sharded run only {speedup:.2f}x faster "
+        f"({stats.wall_s:.2f}s vs {eager_wall:.2f}s)"
+    )
+
+
+def test_sharded_process_mode_identical(benchmark):
+    """Process-pool shards produce the same bits as the in-process run.
+
+    Kept small: on a multi-core host the pool parallelizes the per-epoch
+    advance, but the determinism contract is what this pins down.
+    """
+    specs = sharded_scenario(jobs=min(SHARD_BENCH_JOBS, 400))
+    baseline = ShardedServer(
+        SHARD_BENCH_NODES, EquipartitionScheduler(), shards=1, mode="inprocess"
+    ).run(specs)
+    server = ShardedServer(
+        SHARD_BENCH_NODES, EquipartitionScheduler(), shards=4, mode="process"
+    )
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.update(result=server.run(specs)),
+        rounds=1,
+        iterations=1,
+    )
+    assert _results_identical(holder["result"], baseline)
+    assert server.stats.mode == "process"

@@ -112,6 +112,7 @@ from repro.clusterserver import (
     AdaptiveEfficiencyScheduler,
     ClusterServer,
     EquipartitionScheduler,
+    ShardedServer,
     StaticScheduler,
     synthetic_workload,
 )
@@ -199,6 +200,7 @@ __all__ = [
     "SampleSortCostModel",
     # cluster server
     "ClusterServer",
+    "ShardedServer",
     "StaticScheduler",
     "EquipartitionScheduler",
     "AdaptiveEfficiencyScheduler",

@@ -1,0 +1,241 @@
+"""Benchmark trend page: render nightly bench artifacts into a dashboard.
+
+The nightly workflow (``.github/workflows/nightly.yml``) uploads
+pytest-benchmark JSON files (``figures.json``, ``sharded_clusterserver.json``)
+for every run.  This module turns a *history* of those artifacts into a
+static trend page — one markdown table and one self-contained HTML file
+with per-bench sparklines — so regressions are visible at a glance without
+any external tooling.
+
+History layout: the input directory holds one entry per nightly run,
+either
+
+* a subdirectory per run (e.g. ``2026-07-28/figures.json``) — the
+  natural shape after ``gh run download`` of successive artifacts — or
+* bare ``*.json`` files, each treated as its own run.
+
+Run labels sort lexicographically, so date-stamped directory names give
+chronological order.  Every JSON file is expected to follow the
+pytest-benchmark format: a top-level ``benchmarks`` list of entries with
+``name`` and ``stats.median``.  Files that do not parse are skipped (a
+partial artifact must not break the page).
+
+CLI: ``repro trend HISTORY_DIR --out OUT_DIR`` writes ``trend.md`` and
+``trend.html``; the nightly job publishes them inside the bench artifact.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Most recent runs shown in the tables (older history still feeds deltas).
+MAX_RUNS = 12
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+# --------------------------------------------------------------------------
+# history loading
+# --------------------------------------------------------------------------
+
+
+def _read_medians(path: Path) -> dict[str, float]:
+    """``{bench name: median seconds}`` of one result file ({} on junk)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return {
+            str(entry["name"]): float(entry["stats"]["median"])
+            for entry in payload["benchmarks"]
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
+
+
+def load_history(root: Path) -> tuple[list[str], dict[str, dict[str, float]]]:
+    """Collect ``(run labels, {bench name: {run label: median}})``.
+
+    Labels are subdirectory names (every ``*.json`` inside contributes) or
+    bare file stems, sorted lexicographically.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ConfigurationError(f"bench history directory {root} not found")
+    runs: dict[str, list[Path]] = {}
+    for entry in sorted(root.iterdir()):
+        if entry.is_dir():
+            files = sorted(entry.rglob("*.json"))
+            if files:
+                runs[entry.name] = files
+        elif entry.suffix == ".json":
+            runs[entry.stem] = [entry]
+    series: dict[str, dict[str, float]] = {}
+    labels: list[str] = []
+    for label, files in runs.items():
+        medians: dict[str, float] = {}
+        for path in files:
+            medians.update(_read_medians(path))
+        if not medians:
+            continue
+        labels.append(label)
+        for name, value in medians.items():
+            series.setdefault(name, {})[label] = value
+    if not labels:
+        raise ConfigurationError(
+            f"no readable benchmark JSON under {root} (expected "
+            "pytest-benchmark files, e.g. figures.json)"
+        )
+    return labels, series
+
+
+# --------------------------------------------------------------------------
+# rendering
+# --------------------------------------------------------------------------
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f} ms"
+    return f"{value * 1e6:.0f} µs"
+
+
+def _sparkline(values: list[float]) -> str:
+    """Unicode sparkline of a series (empty cells skipped)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    glyphs = []
+    for v in values:
+        if v is None:
+            glyphs.append(" ")
+            continue
+        frac = 0.5 if span <= 0 else (v - lo) / span
+        glyphs.append(_SPARK_GLYPHS[min(int(frac * 8), 7)])
+    return "".join(glyphs)
+
+
+def _delta_pct(values: list[float]) -> str:
+    present = [v for v in values if v is not None]
+    if len(present) < 2 or present[0] <= 0:
+        return "—"
+    return f"{(present[-1] / present[0] - 1.0) * 100:+.1f}%"
+
+
+def render_markdown(
+    labels: list[str], series: dict[str, dict[str, float]]
+) -> str:
+    """Markdown trend table over the most recent :data:`MAX_RUNS` runs."""
+    shown = labels[-MAX_RUNS:]
+    lines = [
+        "# Benchmark trend",
+        "",
+        f"{len(series)} benches over {len(labels)} runs "
+        f"(showing last {len(shown)}); medians, lower is better.",
+        "",
+        "| bench | trend | " + " | ".join(shown) + " | Δ first→last |",
+        "|---|---|" + "---|" * (len(shown) + 1),
+    ]
+    for name in sorted(series):
+        by_run = series[name]
+        values = [by_run.get(label) for label in shown]
+        cells = [
+            _fmt_seconds(v) if v is not None else "·" for v in values
+        ]
+        lines.append(
+            f"| `{name}` | {_sparkline(values)} | "
+            + " | ".join(cells)
+            + f" | {_delta_pct(values)} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _svg_sparkline(values: list[float], width: int = 160, height: int = 28) -> str:
+    present = [(i, v) for i, v in enumerate(values) if v is not None]
+    if len(present) < 2:
+        return ""
+    lo = min(v for _, v in present)
+    hi = max(v for _, v in present)
+    span = (hi - lo) or 1.0
+    n = max(len(values) - 1, 1)
+    points = " ".join(
+        f"{2 + i * (width - 4) / n:.1f},"
+        f"{height - 3 - (v - lo) / span * (height - 6):.1f}"
+        for i, v in present
+    )
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="currentColor" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def render_html(labels: list[str], series: dict[str, dict[str, float]]) -> str:
+    """Self-contained HTML trend page (no external assets)."""
+    shown = labels[-MAX_RUNS:]
+    head = "".join(f"<th>{html.escape(label)}</th>" for label in shown)
+    rows = []
+    for name in sorted(series):
+        by_run = series[name]
+        values = [by_run.get(label) for label in shown]
+        cells = "".join(
+            f"<td>{_fmt_seconds(v)}</td>" if v is not None else "<td>·</td>"
+            for v in values
+        )
+        rows.append(
+            f"<tr><td class='name'>{html.escape(name)}</td>"
+            f"<td class='spark'>{_svg_sparkline(values)}</td>"
+            f"{cells}<td>{_delta_pct(values)}</td></tr>"
+        )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Benchmark trend</title>
+<style>
+ body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }}
+ table {{ border-collapse: collapse; }}
+ th, td {{ padding: 0.3rem 0.7rem; border-bottom: 1px solid #ddd;
+           text-align: right; white-space: nowrap; }}
+ th {{ border-bottom: 2px solid #888; }}
+ td.name {{ text-align: left; font-family: ui-monospace, monospace; }}
+ td.spark {{ color: #3566b0; }}
+</style></head><body>
+<h1>Benchmark trend</h1>
+<p>{len(series)} benches over {len(labels)} runs (showing last
+{len(shown)}); medians, lower is better.</p>
+<table>
+<thead><tr><th style="text-align:left">bench</th><th>trend</th>{head}
+<th>Δ first→last</th></tr></thead>
+<tbody>
+{chr(10).join(rows)}
+</tbody></table>
+</body></html>
+"""
+
+
+def write_trend_pages(
+    history_dir: Path,
+    out_dir: Path,
+    history: Optional[tuple[list[str], dict[str, dict[str, float]]]] = None,
+) -> tuple[Path, Path]:
+    """Render ``trend.md`` and ``trend.html`` from a history directory.
+
+    ``history`` accepts a pre-loaded :func:`load_history` result so
+    callers that already parsed the files (e.g. the CLI, for its summary
+    line) do not parse them twice.
+    """
+    labels, series = history if history is not None else load_history(history_dir)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    md_path = out_dir / "trend.md"
+    html_path = out_dir / "trend.html"
+    md_path.write_text(render_markdown(labels, series), encoding="utf-8")
+    html_path.write_text(render_html(labels, series), encoding="utf-8")
+    return md_path, html_path

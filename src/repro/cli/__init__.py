@@ -9,9 +9,12 @@ Commands
 * ``calibrate`` — characterize a network model's latency and bandwidth.
 * ``sweep`` — measured-vs-predicted validation sweep; ``--jobs`` runs the
   independent cases on a process pool with a shared calibration cache.
-* ``cache`` — manage the on-disk calibration cache (``clear`` / ``info``).
+* ``cache`` — manage the on-disk calibration and kernel-benchmark caches
+  (``clear`` / ``info``).
 * ``graph`` — dump an application's flow-graph structure.
-* ``server`` — cluster-level scheduling of malleable jobs (paper §9).
+* ``server`` — cluster-level scheduling of malleable jobs (paper §9);
+  ``--shards K`` partitions one scenario over K shard kernels.
+* ``trend`` — render nightly benchmark artifacts into a static trend page.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from repro.cli.tools import (
     add_efficiency_parser,
     add_graph_parser,
     add_sweep_parser,
+    add_trend_parser,
 )
 from repro.errors import ReproError
 
@@ -57,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_parser(sub)
     add_graph_parser(sub)
     add_server_parser(sub)
+    add_trend_parser(sub)
     return parser
 
 

@@ -11,6 +11,7 @@ from repro.clusterserver import (
     EquipartitionScheduler,
     FcfsScheduler,
     Scheduler,
+    ShardedServer,
     StaticScheduler,
     mixed_workload,
     synthetic_workload,
@@ -72,11 +73,25 @@ def add_server_parser(sub: argparse._SubParsersAction) -> None:
         "--efficiency-floor", type=float, default=0.5,
         help="adaptive policy's marginal-efficiency threshold",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the scenario over K shard kernels (sharded "
+             "simulation; 1 = classic single-kernel run)",
+    )
+    p.add_argument(
+        "--shard-mode", choices=("auto", "inprocess", "process"),
+        default="auto",
+        help="shard execution: worker processes, in-process round-robin, "
+             "or auto (processes when >1 CPU); results are identical "
+             "either way",
+    )
     p.set_defaults(func=cmd_server)
 
 
 def cmd_server(args: argparse.Namespace) -> int:
     """Simulate the workload under each requested policy and print a table."""
+    if args.shards < 1:
+        raise ConfigurationError("--shards must be >= 1")
     make = mixed_workload if args.workload == "mixed" else synthetic_workload
     specs = make(
         jobs=args.jobs,
@@ -88,13 +103,31 @@ def cmd_server(args: argparse.Namespace) -> int:
         "static", "fcfs", "backfill", "equipartition", "adaptive"
     ]
     policies = _policies(names, args.nodes_per_job, args.efficiency_floor)
+    shard_note = (
+        f", {args.shards} shards ({args.shard_mode})" if args.shards > 1 else ""
+    )
     print(
         f"{args.jobs} {args.workload} jobs on {args.nodes} nodes, "
-        f"mean interarrival {args.interarrival:.0f} s, seed {args.seed}\n"
+        f"mean interarrival {args.interarrival:.0f} s, seed {args.seed}"
+        f"{shard_note}\n"
     )
     rows = []
     for policy in policies:
-        result = ClusterServer(args.nodes, policy).run(specs)
+        if args.shards > 1:
+            server = ShardedServer(
+                args.nodes, policy, shards=args.shards, mode=args.shard_mode
+            )
+            result = server.run(specs)
+            stats = server.stats
+            print(
+                f"[{policy.name}] {stats.epochs} epochs, "
+                f"{stats.allocations} reallocations "
+                f"({stats.allocations_elided} elided), "
+                f"events/shard {list(stats.shard_events)}, "
+                f"barrier wait {stats.barrier_wait_s * 1e3:.1f} ms"
+            )
+        else:
+            result = ClusterServer(args.nodes, policy).run(specs)
         rows.append(
             (
                 result.scheduler,

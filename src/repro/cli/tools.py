@@ -81,16 +81,17 @@ def add_cache_parser(sub: argparse._SubParsersAction) -> None:
     """Register the ``cache`` subcommand."""
     p = sub.add_parser(
         "cache",
-        help="manage the on-disk calibration cache",
+        help="manage the on-disk calibration and kernel-benchmark caches",
         description=(
-            "Platform calibrations are persisted under a user-cache "
-            "directory (REPRO_CACHE_DIR, else ~/.cache/repro-schaeli06) so "
-            "repeated invocations skip the characterization experiment."
+            "Platform calibrations and kernel-benchmark sample tables are "
+            "persisted under a user-cache directory (REPRO_CACHE_DIR, else "
+            "~/.cache/repro-schaeli06) so repeated invocations skip the "
+            "characterization experiment and the direct-execution warm-up."
         ),
     )
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     clear_p = cache_sub.add_parser(
-        "clear", help="delete every cached calibration"
+        "clear", help="delete every cached calibration and benchmark table"
     )
     clear_p.set_defaults(func=cmd_cache_clear)
     info_p = cache_sub.add_parser(
@@ -100,22 +101,28 @@ def add_cache_parser(sub: argparse._SubParsersAction) -> None:
 
 
 def cmd_cache_clear(args: argparse.Namespace) -> int:
-    """Delete every cached calibration entry."""
-    from repro.analysis import calibcache
+    """Delete every cached calibration and kernel-benchmark entry."""
+    from repro.analysis import benchcache, calibcache
 
     removed = calibcache.clear()
-    print(f"removed {removed} cached calibration(s) from {calibcache.cache_dir()}")
+    removed_bench = benchcache.clear()
+    print(
+        f"removed {removed} cached calibration(s) and {removed_bench} "
+        f"kernel benchmark table(s) from {calibcache.cache_dir()}"
+    )
     return 0
 
 
 def cmd_cache_info(args: argparse.Namespace) -> int:
-    """Show the calibration cache location and its entries."""
-    from repro.analysis import calibcache
+    """Show the cache location and its entries (both families)."""
+    from repro.analysis import benchcache, calibcache
 
-    entries = calibcache.entries()
+    calib_entries = calibcache.entries()
+    bench_entries = benchcache.entries()
     print(f"cache directory : {calibcache.cache_dir()}")
-    print(f"entries         : {len(entries)}")
-    for path in entries:
+    print(f"calibrations    : {len(calib_entries)}")
+    print(f"kernel benches  : {len(bench_entries)}")
+    for path in calib_entries + bench_entries:
         try:
             size = f"{path.stat().st_size} B"
         except OSError:
@@ -123,6 +130,51 @@ def cmd_cache_info(args: argparse.Namespace) -> int:
             # that concurrent access is harmless.
             size = "?"
         print(f"  {path.name}  ({size})")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# trend
+# --------------------------------------------------------------------------
+
+
+def add_trend_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``trend`` subcommand."""
+    p = sub.add_parser(
+        "trend",
+        help="render benchmark-history JSON into a static trend page",
+        description=(
+            "Read a directory of nightly benchmark artifacts "
+            "(pytest-benchmark JSON files, one subdirectory or file per "
+            "run) and write trend.md plus a self-contained trend.html "
+            "with per-bench sparklines."
+        ),
+    )
+    p.add_argument(
+        "history", help="directory of bench-result JSON files (one run per "
+        "subdirectory or per top-level file)",
+    )
+    p.add_argument(
+        "--out", default="bench-trend",
+        help="output directory for trend.md / trend.html",
+    )
+    p.set_defaults(func=cmd_trend)
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Render the trend pages and print where they landed."""
+    from pathlib import Path
+
+    from repro.analysis.trend import load_history, write_trend_pages
+
+    history = load_history(Path(args.history))
+    labels, series = history
+    md_path, html_path = write_trend_pages(
+        Path(args.history), Path(args.out), history=history
+    )
+    print(f"{len(series)} benches over {len(labels)} run(s)")
+    print(f"wrote {md_path}")
+    print(f"wrote {html_path}")
     return 0
 
 

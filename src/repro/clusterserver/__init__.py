@@ -31,6 +31,7 @@ from repro.clusterserver.scheduler import (
     StaticScheduler,
 )
 from repro.clusterserver.server import ClusterServer, ServerResult
+from repro.clusterserver.sharded import JobShard, ShardedServer, ShardStats
 
 __all__ = [
     "JobSpec",
@@ -48,4 +49,7 @@ __all__ = [
     "AdaptiveEfficiencyScheduler",
     "ClusterServer",
     "ServerResult",
+    "JobShard",
+    "ShardedServer",
+    "ShardStats",
 ]

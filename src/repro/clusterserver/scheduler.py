@@ -27,6 +27,23 @@ class Scheduler(ABC):
 
     name = "scheduler"
 
+    #: Whether :meth:`allocate` depends only on *membership state*: the
+    #: running set and its order, each job's spec, current node grant and
+    #: done flag — never on job progress (``phase``,
+    #: ``remaining_in_phase``, ``remaining_work``).  All built-in policies
+    #: qualify.  The sharded server (:mod:`repro.clusterserver.sharded`)
+    #: requires this, and *relies* on it: at barriers where no job
+    #: arrived or completed, only phase indices and within-phase progress
+    #: have changed, so the flag licenses eliding the reallocation call
+    #: entirely — a phase-reading policy under that elision would
+    #: silently diverge from the eager
+    #: :class:`~repro.clusterserver.server.ClusterServer`, which
+    #: reallocates at every phase boundary.  Set to ``False`` in a
+    #: subclass that reads any job progress (including the phase index);
+    #: such a policy still works under ``ClusterServer`` but is rejected
+    #: by ``ShardedServer``.
+    progress_insensitive = True
+
     @abstractmethod
     def allocate(
         self, running: Sequence[MalleableJob], total_nodes: int

@@ -34,6 +34,10 @@ class ServerResult:
     job_wait: dict[str, float] = field(default_factory=dict)
     #: turnaround over dedicated-cluster run time at the requested size
     job_slowdown: dict[str, float] = field(default_factory=dict)
+    #: kernel events executed to produce this result (summed over shard
+    #: kernels for a sharded run — the cost metric the sharding property
+    #: tests conserve)
+    events: int = 0
 
     @property
     def mean_turnaround(self) -> float:
@@ -94,6 +98,51 @@ class ServerResult:
         return len(self.job_turnaround) / self.makespan
 
 
+def finalize_result(
+    scheduler_name: str,
+    total_nodes: int,
+    jobs: Sequence[MalleableJob],
+    makespan: float,
+    events: int,
+) -> ServerResult:
+    """Starvation check plus metric assembly, shared by both engines.
+
+    :class:`ClusterServer` and
+    :class:`~repro.clusterserver.sharded.ShardedServer` must compute
+    turnaround/wait/slowdown identically — the sharded-equivalence gate
+    compares them field by field — so the tail lives here exactly once.
+    ``jobs`` must carry final ``started_at``/``finished_at``/
+    ``node_seconds`` state, in workload-spec order.
+    """
+    unfinished = [j for j in jobs if not j.done]
+    if unfinished:
+        raise ConfigurationError(
+            f"{scheduler_name}: {len(unfinished)} jobs never "
+            "completed (policy starved them); check min_nodes and "
+            "cluster size"
+        )
+    slowdown = {}
+    for j in jobs:
+        ideal = j.spec.ideal_duration()
+        turnaround = j.finished_at - j.spec.arrival
+        slowdown[j.spec.name] = turnaround / ideal if ideal > 0 else math.inf
+    return ServerResult(
+        scheduler=scheduler_name,
+        total_nodes=total_nodes,
+        makespan=makespan,
+        job_turnaround={
+            j.spec.name: j.finished_at - j.spec.arrival for j in jobs
+        },
+        job_node_seconds={j.spec.name: j.node_seconds for j in jobs},
+        total_work=sum(j.spec.total_work for j in jobs),
+        job_wait={
+            j.spec.name: j.started_at - j.spec.arrival for j in jobs
+        },
+        job_slowdown=slowdown,
+        events=events,
+    )
+
+
 class ClusterServer:
     """Simulates a cluster running a malleable workload under a policy."""
 
@@ -110,6 +159,7 @@ class ClusterServer:
         pending = sorted(jobs, key=lambda j: j.spec.arrival)
         running: list[MalleableJob] = []
         last_update = 0.0
+        boundary: list = [None]  # pending phase-boundary event handle
 
         def advance_to_now() -> None:
             nonlocal last_update
@@ -121,6 +171,14 @@ class ClusterServer:
 
         def reschedule() -> None:
             # Retire finished jobs, apply the policy, arm the next event.
+            # The previously armed boundary event is superseded by this
+            # decision (rates may have changed); cancelling it keeps the
+            # queue free of stale wake-ups that would otherwise fire as
+            # no-op decisions — and, after the last completion, drag the
+            # makespan past the true end of the workload.
+            if boundary[0] is not None:
+                kernel.cancel(boundary[0])
+                boundary[0] = None
             finished = [j for j in running if j.done]
             for job in finished:
                 job.finished_at = kernel.now
@@ -141,9 +199,12 @@ class ClusterServer:
                 (j.time_to_phase_end() for j in running), default=math.inf
             )
             if math.isfinite(horizon):
-                kernel.schedule(max(horizon, 1e-12), on_phase_boundary)
+                boundary[0] = kernel.schedule(
+                    max(horizon, 1e-12), on_phase_boundary
+                )
 
         def on_phase_boundary() -> None:
+            boundary[0] = None
             advance_to_now()
             reschedule()
 
@@ -156,30 +217,10 @@ class ClusterServer:
             kernel.schedule_at(job.spec.arrival, on_arrival, job)
         kernel.run()
         advance_to_now()
-
-        unfinished = [j for j in jobs if not j.done]
-        if unfinished:
-            raise ConfigurationError(
-                f"{self.scheduler.name}: {len(unfinished)} jobs never "
-                "completed (policy starved them); check min_nodes and "
-                "cluster size"
-            )
-        slowdown = {}
-        for j in jobs:
-            ideal = j.spec.ideal_duration()
-            turnaround = j.finished_at - j.spec.arrival
-            slowdown[j.spec.name] = turnaround / ideal if ideal > 0 else math.inf
-        return ServerResult(
-            scheduler=self.scheduler.name,
-            total_nodes=self.total_nodes,
-            makespan=kernel.now,
-            job_turnaround={
-                j.spec.name: j.finished_at - j.spec.arrival for j in jobs
-            },
-            job_node_seconds={j.spec.name: j.node_seconds for j in jobs},
-            total_work=sum(j.spec.total_work for j in jobs),
-            job_wait={
-                j.spec.name: j.started_at - j.spec.arrival for j in jobs
-            },
-            job_slowdown=slowdown,
+        return finalize_result(
+            self.scheduler.name,
+            self.total_nodes,
+            jobs,
+            kernel.now,
+            kernel.events_executed,
         )

@@ -1,0 +1,543 @@
+"""Sharded single-scenario cluster-server simulation.
+
+:class:`~repro.clusterserver.server.ClusterServer` runs one scenario on a
+single event loop and pays O(running jobs) at *every* decision point: each
+arrival or phase boundary eagerly advances every running job.  For one
+huge scenario (thousands of malleable jobs) that per-event scan dominates
+the wall clock — and it is exactly the work that partitions.
+
+:class:`ShardedServer` splits the jobs across K shard-local
+:class:`~repro.des.kernel.Kernel` + :class:`~repro.des.fluid.FluidPool`
+instances and advances them with the conservative epoch controller of
+:mod:`repro.des.epoch`:
+
+* each running job's *current phase* is one fluid task in its shard's
+  pool, so progress integrates lazily and each shard's next phase
+  completion comes from the pool's horizon heap in O(log n) — not from a
+  scan;
+* between global decision points (job arrivals, phase/job completions)
+  every rate is piecewise-constant, so each shard's pending event times
+  are a valid conservative lookahead bound: every shard can safely
+  ``run(until=epoch_end)`` without observing the other shards;
+* at each epoch barrier the controller replays the scheduler's *global*
+  reallocation over phase-granular job mirrors and pushes only the
+  changed node grants back to the shards.  Barriers whose
+  scheduler-visible state provably did not change (pure within-job phase
+  boundaries under a :attr:`~repro.clusterserver.scheduler.Scheduler.\
+progress_insensitive` policy) skip the allocation call entirely.
+
+Determinism contract (see ``docs/sharding.md``): the
+:class:`~repro.clusterserver.server.ServerResult` is **bit-identical for
+every shard count and execution mode** — all timing arithmetic is either
+per-job (identical regardless of which shard holds the job) or performed
+by the controller (identical regardless of K).  ``shards=1`` is therefore
+*the* single-kernel run that the sharded-equivalence property tests and
+the ``benchmarks/bench_clusterserver.py`` gate compare against.
+
+Execution modes: ``"process"`` runs each shard in a worker process
+(barriers exchange only node-grant deltas and completion reports over
+pipes), ``"inprocess"`` advances the shard kernels round-robin on the
+calling thread (no parallelism, useful for K small, determinism tests and
+single-CPU hosts); ``"auto"`` picks processes when the host has more than
+one CPU.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Collection, Optional, Sequence
+
+from repro.clusterserver.scheduler import Scheduler
+from repro.clusterserver.server import ServerResult, finalize_result
+from repro.clusterserver.workload import JobSpec, MalleableJob
+from repro.des.epoch import EpochController, ShardHandle
+from repro.des.fluid import FluidPool, FluidTask, RateAllocator
+from repro.des.kernel import Kernel
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class ShardStats:
+    """Work accounting of one :meth:`ShardedServer.run` (bench-gate feed)."""
+
+    #: number of shards the scenario was partitioned into
+    shards: int
+    #: execution mode actually used ("inprocess" or "process")
+    mode: str
+    #: epoch barriers executed
+    epochs: int = 0
+    #: wall seconds blocked at barriers after kicking off every shard
+    barrier_wait_s: float = 0.0
+    #: barriers that ran the scheduler's global reallocation
+    allocations: int = 0
+    #: barriers provably allocation-neutral (skipped scheduler calls)
+    allocations_elided: int = 0
+    #: kernel events executed per shard
+    shard_events: tuple[int, ...] = ()
+    #: jobs assigned per shard
+    shard_jobs: tuple[int, ...] = ()
+    #: wall seconds of the whole run
+    wall_s: float = 0.0
+
+    @property
+    def events_total(self) -> int:
+        """Kernel events summed over shards (conserved across K)."""
+        return sum(self.shard_events)
+
+    def speedup_vs(self, serial_wall_s: float) -> float:
+        """Wall-clock speedup against a serial run of the same scenario."""
+        if self.wall_s <= 0.0:
+            return math.inf
+        return serial_wall_s / self.wall_s
+
+
+class _ShardJob:
+    """Shard-local runtime state of one job (progress lives in the pool)."""
+
+    __slots__ = ("index", "spec", "phase", "nodes", "rate", "task")
+
+    def __init__(self, index: int, spec: JobSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.phase = 0
+        self.nodes = 0
+        self.rate = 0.0
+        self.task: Optional[FluidTask] = None
+
+
+class _ExternalRateAllocator(RateAllocator):
+    """Pool allocator applying controller-decided rates (no law of its own).
+
+    Rates change only at epoch barriers, through
+    :meth:`JobShard.apply_allocation` → ``pool.reallocate(hint=changed)``;
+    membership changes (phase-task admissions/retirements) just carry each
+    job's current rate over.  Everything is O(dirty), keeping the shard's
+    hot loop sub-linear.
+    """
+
+    def _full(self, tasks: Collection[FluidTask]) -> None:
+        for task in tasks:
+            task.rate = task.tag.rate
+
+    def _update(
+        self,
+        tasks: Collection[FluidTask],
+        added: Sequence[FluidTask],
+        removed: Sequence[FluidTask],
+    ) -> None:
+        for task in added:
+            task.rate = task.tag.rate
+        self.stats.rates_computed += len(added)
+
+    def _refresh(self, tasks: Collection[FluidTask], hint=None) -> None:
+        targets = tasks if hint is None else hint
+        for task in targets:
+            task.rate = task.tag.rate
+        self.stats.rates_computed += len(targets)
+
+
+class JobShard:
+    """One partition of the scenario: a kernel, a pool, and its jobs.
+
+    All timing arithmetic here is strictly per-job (admission at the
+    barrier clock, completion horizons from ``synced_at + remaining/rate``)
+    so a job's trajectory is bit-identical no matter which shard owns it —
+    the foundation of the determinism contract.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.kernel = Kernel()
+        self.pool = FluidPool(
+            self.kernel, _ExternalRateAllocator(), name=f"shard-{shard_id}"
+        )
+        self.jobs: dict[int, _ShardJob] = {}
+        self._arrived: list[int] = []
+        self._completed: list[tuple[int, bool]] = []
+
+    # ------------------------------------------------------------------ setup
+    def schedule_arrival(self, index: int, spec: JobSpec) -> None:
+        """Register a job and arm its arrival event."""
+        self.jobs[index] = _ShardJob(index, spec)
+        self.kernel.schedule_at(spec.arrival, self._on_arrival, index)
+
+    # ----------------------------------------------------------------- events
+    def _on_arrival(self, index: int) -> None:
+        self._arrived.append(index)
+
+    def _on_phase_complete(self, task: FluidTask) -> None:
+        job: _ShardJob = task.tag
+        job.phase += 1
+        if job.phase < len(job.spec.phase_work):
+            job.task = FluidTask(
+                job.spec.phase_work[job.phase], self._on_phase_complete, tag=job
+            )
+            self.pool.add(job.task)
+            self._completed.append((job.index, False))
+        else:
+            job.task = None
+            self._completed.append((job.index, True))
+
+    # ---------------------------------------------------------------- epoch api
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending event (arrival or pool horizon), or None."""
+        return self.kernel.next_event_time()
+
+    def run_until(self, bound: float) -> tuple[list[int], list[tuple[int, bool]]]:
+        """Advance to the epoch bound; report arrivals and completions."""
+        self.kernel.run(until=bound)
+        arrived, self._arrived = self._arrived, []
+        completed, self._completed = self._completed, []
+        return arrived, completed
+
+    def admit(self, index: int) -> None:
+        """Admit an arrived job's first phase into the pool (rate 0)."""
+        job = self.jobs[index]
+        job.task = FluidTask(
+            job.spec.phase_work[0], self._on_phase_complete, tag=job
+        )
+        self.pool.add(job.task)
+
+    def apply_allocation(self, updates: Sequence[tuple[int, int]]) -> None:
+        """Apply the controller's node-grant deltas and re-rate the tasks."""
+        changed: list[FluidTask] = []
+        for index, nodes in updates:
+            job = self.jobs[index]
+            job.nodes = nodes
+            # Same expression as MalleableJob.rate(), so the sharded and
+            # eager engines agree to float reassociation noise.
+            job.rate = (
+                nodes * job.spec.efficiency(nodes) if nodes > 0 else 0.0
+            )
+            if job.task is not None and job.task.pool is not None:
+                changed.append(job.task)
+        if changed:
+            self.pool.reallocate(hint=changed)
+
+
+# --------------------------------------------------------------------------
+# shard handles: in-process and worker-process transports
+# --------------------------------------------------------------------------
+
+
+class _LocalShardHandle(ShardHandle):
+    """Direct calls into a shard living on the calling thread."""
+
+    def __init__(self, shard: JobShard) -> None:
+        self.shard = shard
+        self._report: Optional[tuple] = None
+
+    def next_event_time(self) -> Optional[float]:
+        return self.shard.next_event_time()
+
+    def begin_advance(self, until: float) -> None:
+        self._report = self.shard.run_until(until)
+
+    def finish_advance(self):
+        report, self._report = self._report, None
+        return report
+
+    def begin_apply(
+        self, admissions: Sequence[int], updates: Sequence[tuple[int, int]]
+    ) -> None:
+        for index in admissions:
+            self.shard.admit(index)
+        self.shard.apply_allocation(updates)
+
+    def finish_apply(self) -> None:
+        return None
+
+    def shutdown(self) -> tuple[int, int]:
+        return (self.shard.kernel.events_executed, len(self.shard.jobs))
+
+
+def _shard_worker(conn, shard_id: int, assignments) -> None:
+    """Worker-process loop: one shard driven by pipe commands."""
+    try:
+        shard = JobShard(shard_id)
+        for index, spec in assignments:
+            shard.schedule_arrival(index, spec)
+        conn.send(("ok", shard.next_event_time()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "run":
+                arrived, completed = shard.run_until(msg[1])
+                conn.send(("ok", (arrived, completed, shard.next_event_time())))
+            elif cmd == "apply":
+                for index in msg[1]:
+                    shard.admit(index)
+                shard.apply_allocation(msg[2])
+                conn.send(("ok", shard.next_event_time()))
+            elif cmd == "finish":
+                conn.send(
+                    ("ok", (shard.kernel.events_executed, len(shard.jobs)))
+                )
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown command {cmd!r}"))
+                return
+    except BaseException as exc:  # pragma: no cover - crash reporting
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        raise
+
+
+class _ProcessShardHandle(ShardHandle):
+    """Pipe proxy to a shard in a worker process.
+
+    ``next_event_time`` is cached from the last reply — every message that
+    can change it (advance, apply) returns the fresh value, so the cache
+    is always current when the controller computes the next bound.
+    """
+
+    def __init__(self, ctx, shard_id: int, assignments) -> None:
+        self._conn, child = multiprocessing.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker,
+            args=(child, shard_id, assignments),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._next: Optional[float] = self._recv()
+        self._jobs = len(assignments)
+
+    def _recv(self):
+        tag, payload = self._conn.recv()
+        if tag != "ok":
+            raise SimulationError(f"shard worker failed: {payload}")
+        return payload
+
+    def next_event_time(self) -> Optional[float]:
+        return self._next
+
+    def begin_advance(self, until: float) -> None:
+        self._conn.send(("run", until))
+
+    def finish_advance(self):
+        arrived, completed, self._next = self._recv()
+        return (arrived, completed)
+
+    def begin_apply(
+        self, admissions: Sequence[int], updates: Sequence[tuple[int, int]]
+    ) -> None:
+        self._conn.send(("apply", list(admissions), list(updates)))
+
+    def finish_apply(self) -> None:
+        self._next = self._recv()
+
+    def shutdown(self) -> tuple[int, int]:
+        try:
+            self._conn.send(("finish",))
+            stats = self._recv()
+            self._proc.join(timeout=10.0)
+            return stats
+        finally:
+            if self._proc.is_alive():  # pragma: no cover - crash path
+                self._proc.terminate()
+                self._proc.join(timeout=10.0)
+            self._conn.close()
+
+
+# --------------------------------------------------------------------------
+# the sharded server
+# --------------------------------------------------------------------------
+
+
+class ShardedServer:
+    """Cluster-server simulation partitioned over K shard kernels.
+
+    Drop-in companion to :class:`~repro.clusterserver.server.ClusterServer`
+    — same constructor shape plus ``shards``/``mode``, same
+    :class:`~repro.clusterserver.server.ServerResult` — with the
+    determinism contract that the result is bit-identical for every
+    ``shards`` value and mode.  ``shards=1`` is the single-kernel run.
+
+    Requires a :attr:`~repro.clusterserver.scheduler.Scheduler.\
+progress_insensitive` policy: the scheduler sees *phase-granular* job
+    mirrors at barriers (within-phase progress stays shard-local), and
+    allocation-neutral barriers elide the scheduler call.
+    """
+
+    def __init__(
+        self,
+        total_nodes: int,
+        scheduler: Scheduler,
+        shards: int = 1,
+        mode: str = "auto",
+    ) -> None:
+        if total_nodes < 1:
+            raise ConfigurationError("total_nodes must be >= 1")
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if mode not in ("auto", "inprocess", "process"):
+            raise ConfigurationError(
+                f"unknown shard mode {mode!r}; choose auto, inprocess or process"
+            )
+        self.total_nodes = total_nodes
+        self.scheduler = scheduler
+        self.shards = shards
+        self.mode = mode
+        #: accounting of the last run (None before the first)
+        self.stats: Optional[ShardStats] = None
+
+    def _resolve_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if self.shards > 1 and (os.cpu_count() or 1) > 1:
+            return "process"
+        return "inprocess"
+
+    def run(self, specs: Sequence[JobSpec]) -> ServerResult:
+        """Simulate the workload to completion (deterministic in K/mode)."""
+        if not getattr(self.scheduler, "progress_insensitive", False):
+            raise ConfigurationError(
+                f"{self.scheduler.name}: sharded simulation requires a "
+                "progress-insensitive scheduler (allocate() must not read "
+                "job progress — phase index or remaining work); run it on "
+                "ClusterServer instead"
+            )
+        t_start = time.perf_counter()
+        mode = self._resolve_mode()
+        K = self.shards
+        mirrors = [MalleableJob(spec) for spec in specs]
+        # Round-robin partition in arrival order balances shard load; the
+        # result is partition-independent, so any deterministic rule works.
+        order = sorted(range(len(specs)), key=lambda i: specs[i].arrival)
+        owner = [0] * len(specs)
+        assignments: list[list[tuple[int, JobSpec]]] = [[] for _ in range(K)]
+        for pos, idx in enumerate(order):
+            owner[idx] = pos % K
+            assignments[pos % K].append((idx, specs[idx]))
+
+        handles: list[ShardHandle] = []
+        try:
+            if mode == "process":
+                ctx = multiprocessing.get_context()
+                for sid in range(K):
+                    handles.append(
+                        _ProcessShardHandle(ctx, sid, assignments[sid])
+                    )
+            else:
+                for sid in range(K):
+                    shard = JobShard(sid)
+                    for index, spec in assignments[sid]:
+                        shard.schedule_arrival(index, spec)
+                    handles.append(_LocalShardHandle(shard))
+            stats = ShardStats(
+                shards=K,
+                mode=mode,
+                shard_jobs=tuple(len(a) for a in assignments),
+            )
+
+            # Controller-side decision state, all K-independent.
+            running: dict[int, MalleableJob] = {}
+            last_change: dict[int, float] = {}
+            last_bound = 0.0
+
+            def close_chunk(idx: int, now: float) -> None:
+                mirror = mirrors[idx]
+                mirror.node_seconds += mirror.nodes * (now - last_change[idx])
+                last_change[idx] = now
+
+            def on_barrier(now: float, reports: list) -> bool:
+                nonlocal last_bound
+                last_bound = now
+                arrived: list[int] = []
+                job_done = False
+                for report in reports:
+                    shard_arrived, completed = report
+                    arrived.extend(shard_arrived)
+                    for idx, done in completed:
+                        mirror = mirrors[idx]
+                        if done:
+                            job_done = True
+                            close_chunk(idx, now)
+                            mirror.phase = len(mirror.spec.phase_work)
+                            mirror.remaining_in_phase = 0.0
+                            mirror.finished_at = now
+                            mirror.nodes = 0
+                            del running[idx]
+                        else:
+                            mirror.phase += 1
+                            mirror.remaining_in_phase = (
+                                mirror.spec.phase_work[mirror.phase]
+                            )
+                # Equal-arrival ties admit in spec order, matching the
+                # FIFO order of the single-kernel event queue.
+                arrived.sort()
+                for idx in arrived:
+                    running[idx] = mirrors[idx]
+                    last_change[idx] = now
+                admissions: dict[int, list[int]] = {}
+                for idx in arrived:
+                    admissions.setdefault(owner[idx], []).append(idx)
+                updates: dict[int, list[tuple[int, int]]] = {}
+                if arrived or job_done:
+                    # A real membership change: replay the global policy.
+                    stats.allocations += 1
+                    allocation = self.scheduler.allocate(
+                        list(running.values()), self.total_nodes
+                    )
+                    granted = sum(allocation.values())
+                    if granted > self.total_nodes:
+                        raise ConfigurationError(
+                            f"{self.scheduler.name} over-allocated: "
+                            f"{granted} > {self.total_nodes}"
+                        )
+                    for idx, mirror in running.items():
+                        nodes = allocation.get(mirror, 0)
+                        if nodes != mirror.nodes:
+                            close_chunk(idx, now)
+                            mirror.nodes = nodes
+                            if nodes > 0 and math.isnan(mirror.started_at):
+                                mirror.started_at = now
+                            updates.setdefault(owner[idx], []).append(
+                                (idx, nodes)
+                            )
+                else:
+                    # Pure within-job phase boundaries: the scheduler's
+                    # inputs (running set, grants, done flags) are
+                    # unchanged, so by progress-insensitivity the
+                    # allocation is too — skip the call.
+                    stats.allocations_elided += 1
+                touched = sorted(set(admissions) | set(updates))
+                for sid in touched:
+                    handles[sid].begin_apply(
+                        admissions.get(sid, ()), updates.get(sid, ())
+                    )
+                for sid in touched:
+                    handles[sid].finish_apply()
+                return True
+
+            controller = EpochController(handles)
+            controller.run(on_barrier)
+            stats.epochs = controller.stats.epochs
+            stats.barrier_wait_s = controller.stats.barrier_wait_s
+        finally:
+            shard_events = []
+            for handle in handles:
+                try:
+                    events, _jobs = handle.shutdown()
+                    shard_events.append(events)
+                except Exception:  # pragma: no cover - teardown best-effort
+                    shard_events.append(0)
+
+        stats.shard_events = tuple(shard_events)
+        result = finalize_result(
+            self.scheduler.name,
+            self.total_nodes,
+            mirrors,
+            last_bound,
+            stats.events_total,
+        )
+        stats.wall_s = time.perf_counter() - t_start
+        self.stats = stats
+        return result

@@ -20,19 +20,43 @@ from repro.util.rng import SeedSequenceFactory
 EfficiencyFn = Callable[[int], float]
 
 
-def amdahl_efficiency(parallel_fraction: float) -> EfficiencyFn:
-    """Amdahl-style efficiency curve with the given parallel fraction."""
-    if not 0.0 <= parallel_fraction <= 1.0:
-        raise ConfigurationError("parallel_fraction must be in [0, 1]")
+class AmdahlEfficiency:
+    """Amdahl-style efficiency curve with a given parallel fraction.
 
-    def eff(nodes: int) -> float:
+    A class (rather than a closure) so that job specs are picklable —
+    the sharded server's process-pool mode ships specs to worker
+    processes (:mod:`repro.clusterserver.sharded`).  Custom efficiency
+    callables work too, but must likewise be picklable to use process
+    shards.
+    """
+
+    __slots__ = ("parallel_fraction",)
+
+    def __init__(self, parallel_fraction: float) -> None:
+        if not 0.0 <= parallel_fraction <= 1.0:
+            raise ConfigurationError("parallel_fraction must be in [0, 1]")
+        self.parallel_fraction = parallel_fraction
+
+    def __call__(self, nodes: int) -> float:
         if nodes <= 1:
             return 1.0
-        serial = 1.0 - parallel_fraction
-        speedup = 1.0 / (serial + parallel_fraction / nodes)
+        serial = 1.0 - self.parallel_fraction
+        speedup = 1.0 / (serial + self.parallel_fraction / nodes)
         return speedup / nodes
 
-    return eff
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AmdahlEfficiency({self.parallel_fraction!r})"
+
+    def __getstate__(self):
+        return self.parallel_fraction
+
+    def __setstate__(self, state):
+        self.parallel_fraction = state
+
+
+def amdahl_efficiency(parallel_fraction: float) -> EfficiencyFn:
+    """Amdahl-style efficiency curve with the given parallel fraction."""
+    return AmdahlEfficiency(parallel_fraction)
 
 
 @dataclass(frozen=True)

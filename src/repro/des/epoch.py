@@ -1,0 +1,119 @@
+"""Conservative epoch synchronization over shard-local kernels.
+
+Partitioned (sharded) simulation of one scenario runs K independent
+:class:`~repro.des.kernel.Kernel` instances and advances them in lockstep
+*epochs*.  The scheme is classic conservative parallel DES specialized to
+fluid models:
+
+* between two global decision points every shard's rates are
+  piecewise-constant, so each shard's pending event times are valid
+  *lookahead* — no event another shard produces can land before the
+  earliest of them;
+* the controller therefore computes the epoch bound as the minimum next
+  event time across shards, advances every shard with
+  ``kernel.run(until=bound)`` (shards without a due event just move their
+  clock), and invokes a barrier callback that replays the scenario's
+  global decisions (e.g. the cluster scheduler's reallocation) before the
+  next epoch begins.
+
+The controller is deliberately transport-agnostic: a
+:class:`ShardHandle` may wrap an in-process shard or a proxy speaking to a
+worker process over a pipe.  ``begin_advance``/``finish_advance`` are
+split so process-backed shards overlap their work — the controller sends
+every shard its bound before it blocks on the first reply, and the time it
+spends blocked is accounted in :attr:`EpochStats.barrier_wait_s`.
+
+The cluster-server binding of this machinery (job shards, scheduler
+replay, the determinism contract) lives in
+:mod:`repro.clusterserver.sharded` and is documented in
+``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+
+class ShardHandle(ABC):
+    """One shard as seen by the epoch controller.
+
+    Implementations wrap either a local shard object (direct calls) or a
+    worker-process proxy (pipe messages).  The contract:
+
+    * :meth:`next_event_time` — earliest pending event in the shard's
+      kernel, or ``None`` when it is idle; must reflect every update the
+      barrier callback applied to the shard;
+    * :meth:`begin_advance` — start advancing the shard to ``until``
+      (non-blocking for proxies);
+    * :meth:`finish_advance` — block until the advance completes and
+      return the shard's report for the epoch (arrivals, completions —
+      the controller treats it as opaque and hands it to the barrier
+      callback).
+    """
+
+    @abstractmethod
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending event time, or ``None`` when idle."""
+
+    @abstractmethod
+    def begin_advance(self, until: float) -> None:
+        """Start advancing the shard's kernel to ``until``."""
+
+    @abstractmethod
+    def finish_advance(self) -> Any:
+        """Wait for the advance and return the shard's epoch report."""
+
+
+@dataclass
+class EpochStats:
+    """Work counters of one epoch-controller run."""
+
+    #: epochs executed (== barriers reached)
+    epochs: int = 0
+    #: wall seconds the controller spent blocked on shard advancement
+    barrier_wait_s: float = 0.0
+
+    def reset(self) -> None:
+        self.epochs = 0
+        self.barrier_wait_s = 0.0
+
+
+class EpochController:
+    """Advance a set of shards epoch-by-epoch until no events remain.
+
+    ``on_barrier(bound, reports)`` runs after every epoch with the epoch
+    bound (the global minimum next-event time, now every shard's clock)
+    and the per-shard reports in shard order.  It applies the scenario's
+    global decisions and returns ``False`` to stop early.
+
+    The loop ends when every shard is idle (no pending events anywhere) —
+    a scenario that still holds unfinished work at that point is starved,
+    which the caller detects from its own state.
+    """
+
+    def __init__(self, shards: Sequence[ShardHandle]) -> None:
+        self.shards = list(shards)
+        self.stats = EpochStats()
+
+    def run(self, on_barrier: Callable[[float, list[Any]], bool]) -> None:
+        """Run epochs until every shard drains or the callback stops."""
+        shards = self.shards
+        while True:
+            bound: Optional[float] = None
+            for shard in shards:
+                t = shard.next_event_time()
+                if t is not None and (bound is None or t < bound):
+                    bound = t
+            if bound is None:
+                return
+            for shard in shards:
+                shard.begin_advance(bound)
+            t0 = time.perf_counter()
+            reports = [shard.finish_advance() for shard in shards]
+            self.stats.barrier_wait_s += time.perf_counter() - t0
+            self.stats.epochs += 1
+            if not on_barrier(bound, reports):
+                return

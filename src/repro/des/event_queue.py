@@ -115,6 +115,30 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    def pop_due(self, limit: Optional[float]) -> Optional[EventHandle]:
+        """Pop the earliest live event iff its time is ``<= limit``.
+
+        ``None`` for the limit means "any time" — equivalent to :meth:`pop`
+        on a non-empty queue.  Returns ``None`` when the queue is empty or
+        the earliest live event lies beyond ``limit``; the event stays
+        queued.  This is the single-traversal path of the kernel run loop:
+        one sift over the heap serves both the ``until`` check and the pop,
+        where the peek-then-pop sequence paid two.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        if limit is not None and heap[0].time > limit:
+            return None
+        handle = heapq.heappop(heap)
+        self._live -= 1
+        # Detach so a late cancel() of an executed event cannot corrupt
+        # the live count.
+        handle._queue = None
+        return handle
+
     def __len__(self) -> int:
         return self._live
 

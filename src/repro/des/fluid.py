@@ -263,6 +263,10 @@ class AllocatorStats:
     #: prefix and re-solving only the suffix (never also counted as a
     #: fallback)
     warm_starts: int = 0
+    #: component-restricted re-solves that *repaired* the cached
+    #: saturation order in place (dirty component's rounds replaced and
+    #: share-merged) instead of invalidating it
+    warm_merges: int = 0
     #: verify-mode shadow recomputes (diagnostics only — not real work the
     #: production configuration would perform)
     verify_recomputes: int = 0
@@ -276,6 +280,7 @@ class AllocatorStats:
         self.incremental_updates = 0
         self.full_fallbacks = 0
         self.warm_starts = 0
+        self.warm_merges = 0
         self.verify_recomputes = 0
         self.refreshes = 0
         self.rates_computed = 0

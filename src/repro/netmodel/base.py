@@ -335,6 +335,32 @@ class _WarmSolution:
         self.rounds = rounds
 
 
+def _merge_saturation_orders(
+    a: list[tuple[Link, float, tuple[FluidTask, ...]]],
+    b: list[tuple[Link, float, tuple[FluidTask, ...]]],
+) -> list[tuple[Link, float, tuple[FluidTask, ...]]]:
+    """Merge two disjoint-component saturation orders by share.
+
+    Both inputs are nondecreasing in share; for link-disjoint components a
+    global water-filling solve processes exactly these rounds interleaved
+    by share value, so the stable merge is itself a valid whole-pool
+    saturation order (ties may order differently than a fresh solve, which
+    is fine — the max-min fixed point is unique).
+    """
+    merged: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][1] <= b[j][1]:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    return merged
+
+
 class LinkComponentAllocator(RateAllocator):
     """Link → flows index with BFS over connected components + warm start.
 
@@ -578,10 +604,13 @@ class LinkComponentAllocator(RateAllocator):
         Dirty set = the connected component of the changed flows.  Below
         the cascade threshold the component is re-solved at full capacity
         (exact, because components are closed under water-filling) and the
-        warm cache — a whole-pool saturation order — is invalidated.  At or
-        past the threshold the warm-started re-solve is attempted first;
-        only when its prefix check fails does the allocator pay the full
-        solve, counted in ``stats.full_fallbacks``.
+        warm cache — a whole-pool saturation order — is *repaired in
+        place*: the dirty component's rounds are replaced by the new
+        component solve's rounds, share-merged into the untouched rest
+        (``stats.warm_merges``).  At or past the threshold the
+        warm-started re-solve is attempted first; only when its prefix
+        check fails does the allocator pay the full solve, counted in
+        ``stats.full_fallbacks``.
         """
         # Ordered dedup (not a set) for the determinism reason above.
         seed_links: dict[Link, None] = {}
@@ -614,9 +643,42 @@ class LinkComponentAllocator(RateAllocator):
             self.stats.rates_computed += len(tasks)
             self._solve_all(list(tasks))
             return
-        # A partial re-solve leaves the cached whole-pool saturation order
-        # stale; drop it (cheap — dense traffic, where warm starts matter,
-        # rarely takes this branch).
-        self._warm = None
+        # Component-restricted re-solve.  The cached whole-pool saturation
+        # order is *not* invalidated wholesale: components are closed under
+        # water-filling (disjoint links), so every cached round outside the
+        # dirty component replays identically in a fresh whole-pool solve.
+        # Dropping only the dirty component's rounds and merging the
+        # component's new saturation order back in (by share, keeping the
+        # order nondecreasing) leaves a valid whole-pool order for the next
+        # warm start — counted in ``stats.warm_merges``.
         self.stats.rates_computed += len(dirty)
-        self._solve(dirty)
+        solution = self._solve(dirty)
+        if (
+            self.warm_start
+            and self._warm is not None
+            and self._warm.capacity == self.capacity
+            and solution is not None
+        ):
+            # The dirty component's links: every link of a dirty task plus
+            # the seeds (covers removed tasks, whose links seeded the BFS).
+            comp_links = set(seed_links)
+            for task in dirty:
+                comp_links.update(self._links(task))
+            # A round's frozen flows all use its bottleneck link, so a
+            # round references a dirty (or removed) task iff its
+            # bottleneck lies in the component's link set.
+            kept = [
+                entry
+                for entry in self._warm.rounds
+                if entry[0] not in comp_links
+            ]
+            new_rounds = [
+                (link, share, tuple(dirty[i] for i in indices))
+                for link, share, indices in solution.rounds
+            ]
+            self._warm = _WarmSolution(
+                self.capacity, _merge_saturation_orders(kept, new_rounds)
+            )
+            self.stats.warm_merges += 1
+        else:
+            self._warm = None

@@ -215,6 +215,14 @@ class MeasureFirstNProvider(DurationProvider):
     ``params`` (so e.g. gemm at different block sizes calibrate
     separately); once a key has ``n`` samples, subsequent invocations skip
     real execution entirely.
+
+    With ``persist=True`` the sample tables survive the process the way
+    the network-calibration fits do (:mod:`repro.analysis.benchcache`,
+    managed by ``repro cache``): tables are keyed by the target machine
+    profile plus ``n``, preloaded at construction so a repeated
+    direct-execution run skips the warm-up measurements entirely
+    (``preloaded`` counts the kernels restored), and written back whenever
+    a kernel's table fills.
     """
 
     def __init__(
@@ -222,6 +230,7 @@ class MeasureFirstNProvider(DurationProvider):
         direct: DirectExecutionProvider,
         n: int = 3,
         run_kernels_after: bool = False,
+        persist: bool = False,
     ) -> None:
         if n < 1:
             raise CostModelError(f"MeasureFirstN requires n >= 1, got {n}")
@@ -231,10 +240,38 @@ class MeasureFirstNProvider(DurationProvider):
         self._samples: dict[Any, list[float]] = defaultdict(list)
         self.measured = 0
         self.reused = 0
+        #: kernels whose full sample table was restored from disk
+        self.preloaded = 0
+        self._cache_key: Optional[str] = None
+        if persist:
+            from repro.analysis import benchcache
+
+            self._cache_key = benchcache.cache_key(
+                direct.calibration.machine, n
+            )
+            cached = benchcache.load(self._cache_key)
+            if cached:
+                for key, values in cached.items():
+                    # Only complete tables short-circuit measurement;
+                    # partial ones would skew the mean toward whichever
+                    # run died early.
+                    if len(values) >= n:
+                        self._samples[key] = values[:n]
+                        self.preloaded += 1
 
     @staticmethod
     def _key(spec: KernelSpec) -> Any:
         return (spec.name, tuple(sorted(spec.params.items())))
+
+    def _persist(self) -> None:
+        """Write back every full sample table (best-effort)."""
+        from repro.analysis import benchcache
+
+        assert self._cache_key is not None
+        benchcache.store(
+            self._cache_key,
+            {k: v for k, v in self._samples.items() if len(v) >= self.n},
+        )
 
     def evaluate(self, compute: Compute, ctx: OperationContext) -> tuple[float, Any]:
         """Measure until ``n`` samples exist for the key, then reuse the mean."""
@@ -244,6 +281,8 @@ class MeasureFirstNProvider(DurationProvider):
             duration, result = self.direct.evaluate(compute, ctx)
             samples.append(duration)
             self.measured += 1
+            if self._cache_key is not None and len(samples) == self.n:
+                self._persist()
             return duration, result
         self.reused += 1
         duration = sum(samples) / len(samples)

@@ -1,0 +1,127 @@
+"""Disk-persisted kernel-benchmark tables: keys, round-trips, provider."""
+
+import json
+
+import pytest
+
+from repro.analysis import benchcache, calibcache
+from repro.cpumodel.machines import PENTIUM4_2800, ULTRASPARC_II_440
+from repro.dps.operations import Compute, KernelSpec
+from repro.sim.providers import DirectExecutionProvider, HostCalibration, MeasureFirstNProvider
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    """A private, empty cache directory for each test."""
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    return cache
+
+
+def test_store_load_roundtrip(fresh_cache):
+    table = {
+        ("gemm", (("r", 216),)): [0.5, 0.6],
+        ("trsm", ()): [0.1],
+    }
+    benchcache.store("key1", table)
+    assert benchcache.load("key1") == table
+    assert benchcache.load("missing") is None
+
+
+def test_unserializable_params_are_skipped_not_fatal(fresh_cache):
+    table = {
+        ("ok", ()): [1.0],
+        ("bad", (("fn", object()),)): [2.0],
+    }
+    benchcache.store("key2", table)
+    assert benchcache.load("key2") == {("ok", ()): [1.0]}
+
+
+def test_lossy_params_are_skipped_not_fatal(fresh_cache):
+    # A tuple param value serializes fine but reloads as a list — it can
+    # never rebuild the hashable key, and must not poison the entry.
+    table = {
+        ("gemm", (("shape", (2, 3)),)): [0.5],
+        ("lu", (("n", 4),)): [0.25],
+    }
+    benchcache.store("key4", table)
+    assert benchcache.load("key4") == {("lu", (("n", 4),)): [0.25]}
+
+
+def test_corrupt_entry_is_a_miss(fresh_cache):
+    benchcache.store("key3", {("k", ()): [1.0]})
+    path = benchcache.entries()[0]
+    path.write_text("{not json", encoding="utf-8")
+    assert benchcache.load("key3") is None
+
+
+def test_key_depends_on_machine_and_n():
+    base = benchcache.cache_key(ULTRASPARC_II_440, 3)
+    assert benchcache.cache_key(ULTRASPARC_II_440, 3) == base
+    assert benchcache.cache_key(ULTRASPARC_II_440, 4) != base
+    assert benchcache.cache_key(PENTIUM4_2800, 3) != base
+
+
+def test_clear_touches_only_bench_entries(fresh_cache):
+    benchcache.store("a", {("k", ()): [1.0]})
+    from repro.netmodel.params import NetworkParams
+
+    calibcache.store("b", NetworkParams(latency=1e-4, bandwidth=1e7))
+    assert benchcache.clear() == 1
+    assert benchcache.entries() == []
+    assert len(calibcache.entries()) == 1
+
+
+# ------------------------------------------------------- provider integration
+SPEC = KernelSpec("persisted-kernel", flops=1e5, params={"r": 8})
+
+
+def _provider(n=2, persist=True):
+    cal = HostCalibration(ULTRASPARC_II_440, reference_size=64, repeats=1)
+    return MeasureFirstNProvider(
+        DirectExecutionProvider(cal), n=n, persist=persist
+    )
+
+
+def test_second_run_skips_warmup(fresh_cache):
+    """A fresh provider (modelling a new CLI process) restores the full
+    sample table and never re-measures."""
+    calls = []
+
+    def kernel():
+        calls.append(1)
+        return len(calls)
+
+    compute = Compute(SPEC, kernel)
+    first = _provider()
+    for _ in range(3):
+        first.evaluate(compute, None)
+    assert first.measured == 2 and first.preloaded == 0
+    assert len(benchcache.entries()) == 1
+
+    second = _provider()
+    assert second.preloaded == 1
+    duration, result = second.evaluate(compute, None)
+    assert second.measured == 0 and second.reused == 1
+    assert result is None  # warm-up skipped: the kernel never ran
+    assert len(calls) == 2
+    # The reused duration is the mean of the persisted samples.
+    payload = json.loads(benchcache.entries()[0].read_text(encoding="utf-8"))
+    samples = payload["kernels"][0]["samples"]
+    assert duration == pytest.approx(sum(samples) / len(samples))
+
+
+def test_partial_tables_are_not_restored(fresh_cache):
+    incomplete = {("persisted-kernel", (("r", 8),)): [0.5]}  # < n samples
+    key = benchcache.cache_key(ULTRASPARC_II_440, 2)
+    benchcache.store(key, incomplete)
+    provider = _provider(n=2)
+    assert provider.preloaded == 0
+
+
+def test_persist_off_writes_nothing(fresh_cache):
+    provider = _provider(persist=False)
+    compute = Compute(SPEC, lambda: 1)
+    for _ in range(3):
+        provider.evaluate(compute, None)
+    assert benchcache.entries() == []

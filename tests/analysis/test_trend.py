@@ -1,0 +1,98 @@
+"""Benchmark trend page: history loading, rendering, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.trend import (
+    load_history,
+    render_html,
+    render_markdown,
+    write_trend_pages,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+def _bench_json(entries):
+    return json.dumps(
+        {
+            "benchmarks": [
+                {"name": name, "stats": {"median": median}}
+                for name, median in entries.items()
+            ]
+        }
+    )
+
+
+@pytest.fixture()
+def history(tmp_path):
+    """Three date-stamped nightly runs with one bench appearing late."""
+    for day, medians in [
+        ("2026-07-25", {"test_fig08": 1.00, "test_alloc": 0.010}),
+        ("2026-07-26", {"test_fig08": 1.10, "test_alloc": 0.009}),
+        ("2026-07-27", {"test_fig08": 1.21, "test_alloc": 0.008,
+                        "test_sharded_clusterserver_scaling": 2.5}),
+    ]:
+        run = tmp_path / day
+        run.mkdir()
+        (run / "figures.json").write_text(_bench_json(medians))
+    return tmp_path
+
+
+def test_load_history_orders_runs_and_collects_series(history):
+    labels, series = load_history(history)
+    assert labels == ["2026-07-25", "2026-07-26", "2026-07-27"]
+    assert series["test_fig08"] == {
+        "2026-07-25": 1.00, "2026-07-26": 1.10, "2026-07-27": 1.21,
+    }
+    assert list(series["test_sharded_clusterserver_scaling"]) == ["2026-07-27"]
+
+
+def test_flat_json_files_count_as_runs(tmp_path):
+    (tmp_path / "BENCH_a.json").write_text(_bench_json({"t": 1.0}))
+    (tmp_path / "BENCH_b.json").write_text(_bench_json({"t": 2.0}))
+    labels, series = load_history(tmp_path)
+    assert labels == ["BENCH_a", "BENCH_b"]
+    assert series["t"]["BENCH_b"] == 2.0
+
+
+def test_corrupt_files_are_skipped(history, tmp_path):
+    (history / "2026-07-28").mkdir()
+    (history / "2026-07-28" / "figures.json").write_text("{broken")
+    labels, _ = load_history(history)
+    assert "2026-07-28" not in labels  # junk-only run dropped, no crash
+
+
+def test_missing_or_empty_history_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_history(tmp_path / "nope")
+    with pytest.raises(ConfigurationError):
+        load_history(tmp_path)
+
+
+def test_markdown_render(history):
+    labels, series = load_history(history)
+    page = render_markdown(labels, series)
+    assert "| `test_fig08` |" in page
+    assert "1.00 s" in page and "1.21 s" in page
+    assert "+21.0%" in page  # regression visible as first→last delta
+    assert "·" in page  # missing cells for the late-appearing bench
+
+
+def test_html_render_is_self_contained(history):
+    labels, series = load_history(history)
+    page = render_html(labels, series)
+    assert page.startswith("<!DOCTYPE html>")
+    assert "test_sharded_clusterserver_scaling" in page
+    assert "<svg" in page  # sparkline for multi-point series
+    assert "http" not in page  # no external assets
+
+
+def test_write_trend_pages_and_cli(history, tmp_path, capsys):
+    out = tmp_path / "out"
+    md_path, html_path = write_trend_pages(history, out)
+    assert md_path.is_file() and html_path.is_file()
+    assert main(["trend", str(history), "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "3 benches over 3 run(s)" in captured

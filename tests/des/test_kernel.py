@@ -99,3 +99,61 @@ def test_run_not_reentrant(kernel):
 
     kernel.schedule(1.0, reenter)
     kernel.run()
+
+
+# ------------------------------------------------- single-pop run loop path
+def test_run_counts_elided_peeks(kernel):
+    """Each event dispatched by run() saves the peek the pre-restructure
+    loop paid before its pop."""
+    for i in range(4):
+        kernel.schedule(float(i + 1), lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 4
+    assert kernel.peeks_elided == 4
+
+
+def test_run_until_stops_without_popping_future_events(kernel):
+    seen = []
+    kernel.schedule(1.0, seen.append, "due")
+    kernel.schedule(5.0, seen.append, "late")
+    assert kernel.run(until=2.0) == 2.0
+    assert seen == ["due"]
+    assert kernel.pending_events == 1
+    # The future event survived the fused pop-with-limit untouched.
+    assert kernel.run() == 5.0
+    assert seen == ["due", "late"]
+
+
+def test_run_until_executes_events_at_the_exact_bound(kernel):
+    seen = []
+    kernel.schedule(2.0, seen.append, "at-bound")
+    assert kernel.run(until=2.0) == 2.0
+    assert seen == ["at-bound"]
+
+
+def test_max_events_budget_with_until_advances_clock(kernel):
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(10.0, lambda: None)
+    # Budget drains after the first event; until lies before the next
+    # event, so the clock must still advance exactly to it.
+    assert kernel.run(until=5.0, max_events=1) == 5.0
+    assert kernel.events_executed == 1
+    assert kernel.pending_events == 1
+
+
+def test_cancelled_events_do_not_block_pop_due(kernel):
+    seen = []
+    handle = kernel.schedule(1.0, seen.append, "cancelled")
+    kernel.schedule(2.0, seen.append, "live")
+    kernel.cancel(handle)
+    assert kernel.run(until=3.0) == 3.0
+    assert seen == ["live"]
+
+
+def test_next_event_time(kernel):
+    assert kernel.next_event_time() is None
+    kernel.schedule(2.0, lambda: None)
+    kernel.schedule(1.0, lambda: None)
+    assert kernel.next_event_time() == 1.0
+    kernel.run()
+    assert kernel.next_event_time() is None

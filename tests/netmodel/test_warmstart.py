@@ -227,3 +227,52 @@ def test_removal_after_earlier_rounds_replays_saturation_prefix():
     assert allocator.stats.rates_computed == rates_before + 1
     assert active[-1].rate == pytest.approx(1.0)
     _assert_matches_scratch(allocator, active)
+
+
+# ------------------------------------------------------- cache repair (merge)
+def test_component_restricted_update_repairs_cache_for_later_warm_start():
+    """A component-restricted re-solve must not invalidate the warm cache:
+    the dirty component's rounds are replaced and share-merged, so a later
+    dense cascade still warm-starts off the repaired order."""
+    allocator = IncrementalMaxMinAllocator(capacity=1.0, verify=True)
+    active: list[FluidTask] = []
+
+    def add(src, dst):
+        t = _flow_task(src, dst)
+        active.append(t)
+        allocator.update(active, [t], [])
+        return t
+
+    # Dense component A: all-to-all on nodes {0, 1, 2} (fair share 0.5).
+    a_flows = [add(s, d) for s in range(3) for d in range(3) if s != d]
+    merges_after_a = allocator.stats.warm_merges
+    # Component B: four parallel 10 -> 11 flows (fair share 0.25), each a
+    # *small* component relative to the pool -> the restricted path runs
+    # and repairs the cached whole-pool saturation order in place.
+    for _ in range(4):
+        add(10, 11)
+    assert allocator.stats.warm_merges > merges_after_a
+    merges = allocator.stats.warm_merges
+    fallbacks = allocator.stats.full_fallbacks
+    warm_before = allocator.stats.warm_starts
+    # A removal inside dense A cascades past the threshold.  B's round
+    # (share 0.25) precedes every A round (share 0.5) in the merged order
+    # and is untouched by the delta, so the warm start must succeed.
+    removed = a_flows.pop()
+    active.remove(removed)
+    allocator.update(active, [], [removed])
+    assert allocator.stats.warm_starts == warm_before + 1
+    assert allocator.stats.full_fallbacks == fallbacks
+    assert allocator.stats.warm_merges == merges
+    _assert_matches_scratch(allocator, active)
+
+
+def test_warm_start_disabled_never_merges():
+    allocator = IncrementalMaxMinAllocator(capacity=1.0, warm_start=False)
+    active: list[FluidTask] = []
+    for s, d in [(0, 1), (1, 0), (0, 2), (5, 6), (6, 5)]:
+        t = _flow_task(s, d)
+        active.append(t)
+        allocator.update(active, [t], [])
+    assert allocator.stats.warm_merges == 0
+    _assert_matches_scratch(allocator, active)
