@@ -10,6 +10,16 @@ exactly once (themselves in parallel) through a memoized cache, and each
 worker receives the ready-made :class:`~repro.sim.platform.PlatformSpec`
 with its case instead of re-calibrating.
 
+The runner also consumes declarative scenarios directly:
+:meth:`ParallelSweepRunner.run_records` maps a list of
+:class:`~repro.scenario.spec.ScenarioSpec` over the same pool, so one
+sweep may span *engines* (simulator vs. testbed vs. cluster server) and
+*models* (any registered netmodel/cpumodel) — each spec is executed by
+:func:`~repro.scenario.runner.run_scenario` and comes back as a
+normalized :class:`~repro.scenario.runner.RunRecord`.  Calibrated
+platforms named by sim specs are prewarmed exactly once, like the legacy
+path.
+
 Results are returned in case order and are identical to a serial
 :func:`~repro.analysis.sweep.sweep` — the simulations are deterministic and
 share no state across cases.
@@ -72,6 +82,16 @@ def _case_worker(payload):
         case, platform=platform, trace_level=trace_level, keep_runs=keep_runs
     )
     return index, result
+
+
+def _record_worker(payload):
+    from repro.scenario import run_scenario
+
+    index, spec = payload
+    # Engine-native result objects (runtimes, kernels) do not pickle;
+    # records cross the pool stripped of them, so serial and parallel
+    # sweeps return value-identical results.
+    return index, run_scenario(spec).without_raw()
 
 
 class ParallelSweepRunner:
@@ -142,4 +162,44 @@ class ParallelSweepRunner:
         if study is not None:
             for result in results:
                 study.add(result.case.label, result.measured, result.predicted)
+        return results
+
+    def run_records(self, specs):
+        """Run declarative scenarios; records come back in spec order.
+
+        Each :class:`~repro.scenario.spec.ScenarioSpec` executes through
+        :func:`~repro.scenario.runner.run_scenario`, so one sweep may mix
+        engines and models freely.  Calibrated sim platforms are
+        prewarmed once per distinct ``(cluster size, seed)`` key before
+        the fan-out; records are returned without their engine-native
+        ``raw`` objects.  Serial and parallel runs are value-identical in
+        every simulated quantity — only the host wall-clock fields
+        (``wall_time_s`` and the ``*_wall_time`` metrics) vary.
+        """
+        from repro.scenario import calibration_key, run_scenario
+
+        specs = list(specs)
+        if not specs:
+            return []
+        results = [None] * len(specs)
+        if self.jobs == 1:
+            for i, spec in enumerate(specs):
+                results[i] = run_scenario(spec).without_raw()
+            return results
+        with multiprocessing.Pool(processes=min(self.jobs, len(specs))) as pool:
+            keys = sorted(
+                {
+                    key
+                    for key in (calibration_key(spec) for spec in specs)
+                    if key is not None
+                }
+            )
+            missing = [k for k in keys if k not in _PLATFORM_CACHE]
+            for key, calibrated in pool.map(_calibrate_worker, missing):
+                # Workers reload the fit from the shared disk cache; the
+                # parent memo makes later in-process runs free as well.
+                _PLATFORM_CACHE[key] = calibrated
+            payloads = list(enumerate(specs))
+            for index, record in pool.imap_unordered(_record_worker, payloads):
+                results[index] = record
         return results

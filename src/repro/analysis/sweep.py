@@ -16,6 +16,12 @@ per-platform calibration is memoized in a shared cache keyed by
 runs calibrate each distinct platform exactly once before fanning out.
 Results are case-for-case identical between serial and parallel runs.  The
 ``repro sweep`` CLI subcommand exposes the same workflow via ``--jobs``.
+
+Sweeps also consume declarative scenarios directly: :func:`sweep_specs`
+maps a list of :class:`~repro.scenario.spec.ScenarioSpec` over the same
+runner, so one sweep can span engines (sim/testbed/server) and network
+models in a single fan-out — each point comes back as a normalized
+:class:`~repro.scenario.runner.RunRecord`.
 """
 
 from __future__ import annotations
@@ -155,3 +161,16 @@ def sweep(
         jobs=jobs, trace_level=trace_level, keep_runs=keep_runs
     )
     return runner.run(cases, study=study, platform=platform)
+
+
+def sweep_specs(specs, jobs: int = 1):
+    """Run a list of scenario specs; normalized records in spec order.
+
+    The scenario-native sweep: specs may mix engines, apps and models
+    freely (the cross-engine validation sweep is just a list alternating
+    ``testbed`` and calibrated ``sim`` specs).  ``jobs`` works exactly
+    like :func:`sweep`'s.
+    """
+    from repro.analysis.parallel import ParallelSweepRunner
+
+    return ParallelSweepRunner(jobs=jobs).run_records(specs)

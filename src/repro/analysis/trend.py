@@ -129,6 +129,32 @@ def _delta_pct(values: list[float]) -> str:
     return f"{(present[-1] / present[0] - 1.0) * 100:+.1f}%"
 
 
+def regressions(
+    labels: list[str],
+    series: dict[str, dict[str, float]],
+    threshold: float,
+) -> list[tuple[str, float]]:
+    """Benches whose first→last delta exceeds ``threshold`` (a fraction).
+
+    The alert the nightly job gates on: over the *whole* loaded history
+    (not just the rows shown), a bench whose most recent median is more
+    than ``threshold`` above its earliest median is a regression.
+    Benches with fewer than two data points never alert.  Returns
+    ``(bench name, delta fraction)`` pairs, worst first.
+    """
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold!r}")
+    flagged = []
+    for name, by_run in series.items():
+        present = [by_run[label] for label in labels if label in by_run]
+        if len(present) < 2 or present[0] <= 0:
+            continue
+        delta = present[-1] / present[0] - 1.0
+        if delta > threshold:
+            flagged.append((name, delta))
+    return sorted(flagged, key=lambda item: -item[1])
+
+
 def render_markdown(
     labels: list[str], series: dict[str, dict[str, float]]
 ) -> str:

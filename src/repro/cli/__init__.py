@@ -3,6 +3,10 @@
 Commands
 --------
 
+* ``run`` — execute a declarative scenario spec (TOML/JSON) under its
+  declared engine; the single entry point everything else delegates to.
+* ``scenarios list`` — show every registered app, model, provider,
+  engine, workload and policy a spec may name.
 * ``lu`` / ``stencil`` / ``sort`` / ``matmul`` — run an application under
   the simulator (prediction), the virtual cluster (measurement) or both.
 * ``efficiency`` — per-iteration dynamic efficiency of an LU run (Fig. 11).
@@ -10,11 +14,12 @@ Commands
 * ``sweep`` — measured-vs-predicted validation sweep; ``--jobs`` runs the
   independent cases on a process pool with a shared calibration cache.
 * ``cache`` — manage the on-disk calibration and kernel-benchmark caches
-  (``clear`` / ``info``).
+  (``clear`` / ``info [--json]``).
 * ``graph`` — dump an application's flow-graph structure.
 * ``server`` — cluster-level scheduling of malleable jobs (paper §9);
   ``--shards K`` partitions one scenario over K shard kernels.
-* ``trend`` — render nightly benchmark artifacts into a static trend page.
+* ``trend`` — render nightly benchmark artifacts into a static trend
+  page; ``--alert-threshold`` gates on first→last regressions.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.cli.apps import (
     add_sort_parser,
     add_stencil_parser,
 )
+from repro.cli.scenarios import add_run_parser, add_scenarios_parser
 from repro.cli.server import add_server_parser
 from repro.cli.tools import (
     add_cache_parser,
@@ -51,6 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    add_run_parser(sub)
+    add_scenarios_parser(sub)
     add_lu_parser(sub)
     add_stencil_parser(sub)
     add_sort_parser(sub)

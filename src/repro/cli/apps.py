@@ -1,23 +1,16 @@
-"""Application subcommands: run LU, stencil, sample sort or matmul runs."""
+"""Application subcommands: run LU, stencil, sample sort or matmul runs.
+
+Each subcommand folds its options into a
+:class:`~repro.scenario.spec.ScenarioSpec` and delegates to the scenario
+runner via :func:`repro.cli.common.run_app` — the argparse layer owns
+nothing but flag names.
+"""
 
 from __future__ import annotations
 
 import argparse
 
-from repro.apps.lu.app import LUApplication
-from repro.apps.lu.config import LUConfig
-from repro.apps.lu.costs import LUCostModel
-from repro.apps.matmul import MatmulApplication, MatmulConfig
-from repro.apps.sort import SampleSortApplication, SampleSortConfig, SampleSortCostModel
-from repro.apps.stencil import StencilApplication, StencilConfig, StencilCostModel
-from repro.cli.common import (
-    add_engine_options,
-    parse_kill_events,
-    parse_mode,
-    run_app,
-)
-from repro.sim.platform import PAPER_CLUSTER
-from repro.sim.providers import MachineCostModel
+from repro.cli.common import add_engine_options, run_app
 
 
 # --------------------------------------------------------------------------
@@ -59,26 +52,18 @@ def add_lu_parser(sub: argparse._SubParsersAction) -> None:
 
 def cmd_lu(args: argparse.Namespace) -> int:
     """Run one LU configuration per the CLI options."""
-    cfg = LUConfig(
-        n=args.n,
-        r=args.r,
-        num_threads=args.threads,
-        num_nodes=args.nodes,
-        pipelined=args.pipelined,
-        flow_control=args.fc,
-        pm_subblock=args.pm,
-        schedule=parse_kill_events(args.kill),
-        mode=parse_mode(args.mode),
-    )
-    print(f"LU {cfg.n}x{cfg.n}, r={cfg.r}, variant={cfg.variant_name}, "
-          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes, "
-          f"schedule={cfg.schedule.name}")
     return run_app(
         args,
-        build_app=lambda: LUApplication(cfg),
-        cost_model_factory=lambda: LUCostModel(PAPER_CLUSTER.machine, cfg.r),
-        num_nodes=cfg.num_nodes,
-        verify=lambda app, runtime: app.verify(runtime),
+        "lu",
+        {
+            "n": args.n,
+            "r": args.r,
+            "num_threads": args.threads,
+            "num_nodes": args.nodes,
+            "pipelined": args.pipelined,
+            "flow_control": args.fc,
+            "pm_subblock": args.pm,
+        },
     )
 
 
@@ -113,28 +98,17 @@ def add_stencil_parser(sub: argparse._SubParsersAction) -> None:
 
 def cmd_stencil(args: argparse.Namespace) -> int:
     """Run one stencil configuration per the CLI options."""
-    cfg = StencilConfig(
-        n=args.n,
-        stripes=args.stripes,
-        iterations=args.iterations,
-        num_threads=args.threads,
-        num_nodes=args.nodes,
-        barrier=args.barrier,
-        schedule=parse_kill_events(args.kill),
-        mode=parse_mode(args.mode),
-    )
-    variant = "barrier" if cfg.barrier else "pipelined"
-    print(f"stencil {cfg.n}x{cfg.n}, {cfg.stripes} stripes, "
-          f"{cfg.iterations} iterations, {variant}, "
-          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
     return run_app(
         args,
-        build_app=lambda: StencilApplication(cfg),
-        cost_model_factory=lambda: StencilCostModel(
-            PAPER_CLUSTER.machine, cfg.rows, cfg.n
-        ),
-        num_nodes=cfg.num_nodes,
-        verify=lambda app, runtime: app.verify(runtime),
+        "stencil",
+        {
+            "n": args.n,
+            "stripes": args.stripes,
+            "iterations": args.iterations,
+            "num_threads": args.threads,
+            "num_nodes": args.nodes,
+            "barrier": args.barrier,
+        },
     )
 
 
@@ -159,22 +133,14 @@ def add_sort_parser(sub: argparse._SubParsersAction) -> None:
 
 def cmd_sort(args: argparse.Namespace) -> int:
     """Run one sample-sort configuration per the CLI options."""
-    cfg = SampleSortConfig(
-        m=args.m,
-        num_threads=args.threads,
-        num_nodes=args.nodes,
-        mode=parse_mode(args.mode),
-    )
-    print(f"sample sort of {cfg.m} keys, "
-          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
     return run_app(
         args,
-        build_app=lambda: SampleSortApplication(cfg),
-        cost_model_factory=lambda: SampleSortCostModel(
-            PAPER_CLUSTER.machine, cfg.block, cfg.num_threads
-        ),
-        num_nodes=cfg.num_nodes,
-        verify=lambda app, runtime: app.verify(),
+        "sort",
+        {
+            "m": args.m,
+            "num_threads": args.threads,
+            "num_nodes": args.nodes,
+        },
     )
 
 
@@ -200,19 +166,13 @@ def add_matmul_parser(sub: argparse._SubParsersAction) -> None:
 
 def cmd_matmul(args: argparse.Namespace) -> int:
     """Run one matrix-multiplication configuration per the CLI options."""
-    cfg = MatmulConfig(
-        n=args.n,
-        s=args.s,
-        num_threads=args.threads,
-        num_nodes=args.nodes,
-        mode=parse_mode(args.mode),
-    )
-    print(f"matmul {cfg.n}x{cfg.n}, s={cfg.s}, "
-          f"{cfg.num_threads} threads on {cfg.num_nodes} nodes")
     return run_app(
         args,
-        build_app=lambda: MatmulApplication(cfg),
-        cost_model_factory=lambda: MachineCostModel(PAPER_CLUSTER.machine),
-        num_nodes=cfg.num_nodes,
-        verify=lambda app, runtime: app.verify(),
+        "matmul",
+        {
+            "n": args.n,
+            "s": args.s,
+            "num_threads": args.threads,
+            "num_nodes": args.nodes,
+        },
     )

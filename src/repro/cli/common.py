@@ -4,65 +4,39 @@ The CLI mirrors the paper's workflow: the same application object runs
 under the simulator (*prediction*) or on the virtual cluster
 (*measurement*), selected by ``--engine``; ``--engine both`` reports the
 prediction error, the quantity Fig. 13 histograms.
+
+Since the scenario subsystem landed, every app subcommand is a thin shell
+over :mod:`repro.scenario`: the argparse options are folded into a
+:class:`~repro.scenario.spec.ScenarioSpec` and executed through
+:func:`~repro.scenario.runner.run_scenario`, so ``repro lu ...`` and the
+equivalent ``repro run lu.toml`` produce identical
+:class:`~repro.scenario.runner.RunRecord` metrics by construction.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Optional
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional
 
-from repro.apps.base import Application
-from repro.dps.malleability import STATIC, AllocationEvent, AllocationSchedule
-from repro.dps.runtime import DurationProvider
-from repro.errors import ConfigurationError
-from repro.sim.modes import SimulationMode
-from repro.sim.platform import PAPER_CLUSTER, PlatformSpec
-from repro.sim.providers import CostModelProvider
-from repro.sim.simulator import DPSSimulator
-from repro.testbed.cluster import VirtualCluster
-from repro.testbed.executor import TestbedExecutor
-
-#: CLI names for the simulation modes
-MODE_NAMES = {
-    "direct": SimulationMode.DIRECT,
-    "pdexec": SimulationMode.PDEXEC,
-    "noalloc": SimulationMode.PDEXEC_NOALLOC,
-}
-
-
-def parse_mode(name: str) -> SimulationMode:
-    """Map a CLI mode name to a :class:`SimulationMode`."""
-    try:
-        return MODE_NAMES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown mode {name!r}; choose from {sorted(MODE_NAMES)}"
-        ) from None
-
-
-def parse_kill_events(specs: Optional[list[str]]) -> AllocationSchedule:
-    """Parse ``--kill "4,5,6,7@1"`` specifications into a schedule.
-
-    Each spec reads *remove threads <indices> after iteration <k>*; the
-    phase label follows the apps' ``iter<k>`` convention.
-    """
-    if not specs:
-        return STATIC
-    events = []
-    for spec in specs:
-        try:
-            indices_part, phase_part = spec.split("@", 1)
-            indices = tuple(int(x) for x in indices_part.split(",") if x.strip())
-            after = int(phase_part)
-        except ValueError:
-            raise ConfigurationError(
-                f"bad --kill spec {spec!r}; expected e.g. '4,5,6,7@1'"
-            ) from None
-        if not indices:
-            raise ConfigurationError(f"--kill spec {spec!r} removes no threads")
-        events.append(AllocationEvent(f"iter{after}", "workers", indices))
-    name = " + ".join(specs)
-    return AllocationSchedule(events=tuple(events), name=f"kill {name}")
+# Canonical definitions live with the scenario spec; re-exported here for
+# compatibility (tests and external callers import them from this module).
+from repro.scenario.spec import (  # noqa: F401  (re-exports)
+    MODE_NAMES,
+    parse_kill_events,
+    parse_mode,
+)
+from repro.scenario import (
+    AppSection,
+    EngineSection,
+    ProviderSection,
+    RunRecord,
+    ScenarioSpec,
+    default_registry,
+    run_scenario,
+)
 
 
 def add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -87,55 +61,107 @@ def add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="check the numerical result (needs --mode pdexec)",
     )
+    parser.add_argument(
+        "--persist-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="persist direct-execution kernel benchmarks on disk and wrap "
+        "them in the measure-first-n provider (default for --mode direct; "
+        "--no-persist-cache restores raw per-invocation timing)",
+    )
+    parser.add_argument(
+        "--record-json",
+        metavar="PATH",
+        default=None,
+        help="also write the normalized RunRecord(s) as a JSON list",
+    )
+
+
+def scenario_from_args(
+    app: str,
+    args: argparse.Namespace,
+    options: dict,
+    name: Optional[str] = None,
+) -> ScenarioSpec:
+    """Fold an app subcommand's argparse namespace into a scenario spec.
+
+    The returned spec carries ``engine.name="sim"``; callers switch it to
+    ``testbed`` with :func:`dataclasses.replace` for the measurement leg.
+    """
+    provider_options = {}
+    persist = getattr(args, "persist_cache", None)
+    if persist is not None:
+        provider_options["persist"] = bool(persist)
+    events = tuple(getattr(args, "kill", None) or ())
+    return ScenarioSpec(
+        name=name or app,
+        app=AppSection(app, dict(options)),
+        engine=EngineSection(
+            name="sim",
+            mode=args.mode,
+            seed=args.seed,
+            verify=args.verify,
+        ),
+        provider=ProviderSection("auto", provider_options),
+        events=events,
+    )
+
+
+def write_records(path: str, records: list[RunRecord]) -> None:
+    """Dump normalized run records as a JSON list (``--record-json``)."""
+    Path(path).write_text(
+        json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
 
 
 def run_app(
     args: argparse.Namespace,
-    build_app: Callable[[], Application],
-    cost_model_factory: Callable[[], "object"],
-    num_nodes: int,
-    verify: Optional[Callable[[Application, object], None]] = None,
-    platform: Optional[PlatformSpec] = None,
+    app: str,
+    options: dict,
+    name: Optional[str] = None,
 ) -> int:
-    """Run an application per the engine options and print the outcome."""
-    mode = parse_mode(args.mode)
-    run_kernels = mode.runs_kernels
-    platform = platform or PAPER_CLUSTER
+    """Run an app subcommand per the engine options and print the outcome.
 
+    Prints the app's one-line description, then the prediction and/or
+    measurement results in the classic format; ``--engine both`` adds the
+    signed relative prediction error.
+    """
+    spec = scenario_from_args(app, args, options, name=name)
+    plugin = default_registry().resolve("app", app)
+    cfg = plugin.make_config(spec)  # validates options up front
+    if plugin.describe is not None:
+        print(plugin.describe(cfg))
+
+    records: list[RunRecord] = []
     predicted = measured = None
     if args.engine in ("sim", "both"):
-        app = build_app()
-        provider: DurationProvider
-        if mode is SimulationMode.DIRECT:
-            # Direct execution: time the real kernels on this host, scale
-            # to the target machine (Table 1's first simulator mode).
-            from repro.sim.providers import DirectExecutionProvider, HostCalibration
-
-            provider = DirectExecutionProvider(
-                HostCalibration(platform.machine)
+        record = run_scenario(
+            dataclasses.replace(
+                spec, engine=dataclasses.replace(spec.engine, name="sim")
             )
-        else:
-            provider = CostModelProvider(
-                cost_model_factory(), run_kernels=run_kernels
-            )
-        result = DPSSimulator(platform, provider).run(app)
-        predicted = result.predicted_time
+        )
+        predicted = record.makespan
         print(f"predicted running time : {predicted:.4f} s")
-        print(f"simulation wall time   : {result.simulation_wall_time:.4f} s")
-        print(f"kernel events          : {result.events}")
-        if args.verify and verify is not None:
-            verify(app, result.runtime)
+        print(f"simulation wall time   : {record.wall_time_s:.4f} s")
+        print(f"kernel events          : {record.events}")
+        if record.verified:
             print("verification           : OK")
+        records.append(record)
     if args.engine in ("testbed", "both"):
-        app = build_app()
-        cluster = VirtualCluster(num_nodes=num_nodes, seed=args.seed)
-        measurement = TestbedExecutor(cluster, run_kernels=run_kernels).run(app)
-        measured = measurement.measured_time
+        record = run_scenario(
+            dataclasses.replace(
+                spec, engine=dataclasses.replace(spec.engine, name="testbed")
+            )
+        )
+        measured = record.makespan
         print(f"measured running time  : {measured:.4f} s")
-        if args.verify and verify is not None:
-            verify(app, measurement.runtime)
+        if record.verified:
             print("verification           : OK")
+        records.append(record)
     if predicted is not None and measured is not None:
         error = (predicted - measured) / measured
         print(f"prediction error       : {error:+.2%}")
+    if getattr(args, "record_json", None):
+        write_records(args.record_json, records)
     return 0

@@ -1,38 +1,27 @@
-"""The ``server`` subcommand: cluster-level scheduling comparison (paper §9)."""
+"""The ``server`` subcommand: cluster-level scheduling comparison (paper §9).
+
+Each requested policy becomes one
+:class:`~repro.scenario.spec.ScenarioSpec` with the ``server`` engine
+(sharded when ``--shards > 1``) executed through
+:func:`~repro.scenario.runner.run_scenario`; the table is assembled from
+the normalized :class:`~repro.scenario.runner.RunRecord` metrics.
+"""
 
 from __future__ import annotations
 
 import argparse
 
 from repro.analysis.tables import ascii_table
-from repro.clusterserver import (
-    AdaptiveEfficiencyScheduler,
-    ClusterServer,
-    EquipartitionScheduler,
-    FcfsScheduler,
-    Scheduler,
-    ShardedServer,
-    StaticScheduler,
-    mixed_workload,
-    synthetic_workload,
-)
+from repro.cli.common import write_records
 from repro.errors import ConfigurationError
-
-
-def _policies(names: list[str], nodes_per_job: int, floor: float) -> list[Scheduler]:
-    registry = {
-        "static": lambda: StaticScheduler(nodes_per_job),
-        "fcfs": lambda: FcfsScheduler(),
-        "backfill": lambda: FcfsScheduler(backfill=True),
-        "equipartition": lambda: EquipartitionScheduler(),
-        "adaptive": lambda: AdaptiveEfficiencyScheduler(floor),
-    }
-    unknown = [n for n in names if n not in registry]
-    if unknown:
-        raise ConfigurationError(
-            f"unknown policies {unknown}; choose from {sorted(registry)}"
-        )
-    return [registry[name]() for name in names]
+from repro.scenario import (
+    AppSection,
+    ClusterSection,
+    EngineSection,
+    ScenarioSpec,
+    default_registry,
+    run_scenario,
+)
 
 
 def add_server_parser(sub: argparse._SubParsersAction) -> None:
@@ -85,6 +74,12 @@ def add_server_parser(sub: argparse._SubParsersAction) -> None:
              "or auto (processes when >1 CPU); results are identical "
              "either way",
     )
+    p.add_argument(
+        "--record-json",
+        metavar="PATH",
+        default=None,
+        help="also write the normalized RunRecord(s) as a JSON list",
+    )
     p.set_defaults(func=cmd_server)
 
 
@@ -92,17 +87,16 @@ def cmd_server(args: argparse.Namespace) -> int:
     """Simulate the workload under each requested policy and print a table."""
     if args.shards < 1:
         raise ConfigurationError("--shards must be >= 1")
-    make = mixed_workload if args.workload == "mixed" else synthetic_workload
-    specs = make(
-        jobs=args.jobs,
-        mean_interarrival=args.interarrival,
-        seed=args.seed,
-        max_nodes=min(8, args.nodes),
-    )
+    registry = default_registry()
     names = args.policy or [
         "static", "fcfs", "backfill", "equipartition", "adaptive"
     ]
-    policies = _policies(names, args.nodes_per_job, args.efficiency_floor)
+    known = registry.names("policy")
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown policies {unknown}; choose from {known}"
+        )
     shard_note = (
         f", {args.shards} shards ({args.shard_mode})" if args.shards > 1 else ""
     )
@@ -111,32 +105,47 @@ def cmd_server(args: argparse.Namespace) -> int:
         f"mean interarrival {args.interarrival:.0f} s, seed {args.seed}"
         f"{shard_note}\n"
     )
+    records = []
     rows = []
-    for policy in policies:
-        if args.shards > 1:
-            server = ShardedServer(
-                args.nodes, policy, shards=args.shards, mode=args.shard_mode
-            )
-            result = server.run(specs)
-            stats = server.stats
+    for name in names:
+        spec = ScenarioSpec(
+            name=f"server-{name}",
+            app=AppSection(args.workload),
+            engine=EngineSection(
+                name="server",
+                seed=args.seed,
+                shards=args.shards,
+                shard_mode=args.shard_mode,
+            ),
+            cluster=ClusterSection(
+                nodes=args.nodes,
+                jobs=args.jobs,
+                interarrival=args.interarrival,
+                policy=name,
+                nodes_per_job=args.nodes_per_job,
+                efficiency_floor=args.efficiency_floor,
+            ),
+        )
+        record = run_scenario(spec, registry)
+        records.append(record)
+        stats = record.raw.get("stats")
+        if stats is not None:
             print(
-                f"[{policy.name}] {stats.epochs} epochs, "
+                f"[{record.raw['result'].scheduler}] {stats.epochs} epochs, "
                 f"{stats.allocations} reallocations "
                 f"({stats.allocations_elided} elided), "
                 f"events/shard {list(stats.shard_events)}, "
                 f"barrier wait {stats.barrier_wait_s * 1e3:.1f} ms"
             )
-        else:
-            result = ClusterServer(args.nodes, policy).run(specs)
         rows.append(
             (
-                result.scheduler,
-                f"{result.makespan:.1f}",
-                f"{result.mean_turnaround:.1f}",
-                f"{result.mean_wait:.1f}",
-                f"{result.mean_slowdown:.2f}",
-                f"{result.cluster_efficiency * 100:.1f}%",
-                f"{result.service_rate:.3f}",
+                record.raw["result"].scheduler,
+                f"{record.makespan:.1f}",
+                f"{record.metrics['mean_turnaround']:.1f}",
+                f"{record.metrics['mean_wait']:.1f}",
+                f"{record.metrics['mean_slowdown']:.2f}",
+                f"{record.metrics['cluster_efficiency'] * 100:.1f}%",
+                f"{record.metrics['service_rate']:.3f}",
             )
         )
     print(
@@ -153,4 +162,6 @@ def cmd_server(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.record_json:
+        write_records(args.record_json, records)
     return 0

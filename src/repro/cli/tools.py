@@ -95,7 +95,12 @@ def add_cache_parser(sub: argparse._SubParsersAction) -> None:
     )
     clear_p.set_defaults(func=cmd_cache_clear)
     info_p = cache_sub.add_parser(
-        "info", help="show the cache location and its entries"
+        "info", help="show the cache location, entries and on-disk sizes"
+    )
+    info_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (families, entries, byte totals)",
     )
     info_p.set_defaults(func=cmd_cache_info)
 
@@ -113,23 +118,50 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_family(paths) -> dict:
+    """Entry names and byte sizes of one cache family.
+
+    Sizes of entries that vanish mid-listing (a concurrent ``clear``)
+    count as 0; the cache contract makes concurrent access harmless.
+    """
+    entries = []
+    total = 0
+    for path in paths:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        entries.append({"name": path.name, "bytes": size})
+        total += size
+    return {"entries": entries, "count": len(entries), "bytes": total}
+
+
 def cmd_cache_info(args: argparse.Namespace) -> int:
-    """Show the cache location and its entries (both families)."""
+    """Show both cache families' entries and on-disk sizes."""
+    import json
+
     from repro.analysis import benchcache, calibcache
 
-    calib_entries = calibcache.entries()
-    bench_entries = benchcache.entries()
+    families = {
+        "calibrations": _cache_family(calibcache.entries()),
+        "kernel_benches": _cache_family(benchcache.entries()),
+    }
+    if args.json:
+        payload = {"directory": str(calibcache.cache_dir()), **families}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"cache directory : {calibcache.cache_dir()}")
-    print(f"calibrations    : {len(calib_entries)}")
-    print(f"kernel benches  : {len(bench_entries)}")
-    for path in calib_entries + bench_entries:
-        try:
-            size = f"{path.stat().st_size} B"
-        except OSError:
-            # Raced with a concurrent clear/rewrite; the cache promises
-            # that concurrent access is harmless.
-            size = "?"
-        print(f"  {path.name}  ({size})")
+    print(
+        f"calibrations    : {families['calibrations']['count']} "
+        f"({families['calibrations']['bytes']} B)"
+    )
+    print(
+        f"kernel benches  : {families['kernel_benches']['count']} "
+        f"({families['kernel_benches']['bytes']} B)"
+    )
+    for family in families.values():
+        for entry in family["entries"]:
+            print(f"  {entry['name']}  ({entry['bytes']} B)")
     return 0
 
 
@@ -158,14 +190,20 @@ def add_trend_parser(sub: argparse._SubParsersAction) -> None:
         "--out", default="bench-trend",
         help="output directory for trend.md / trend.html",
     )
+    p.add_argument(
+        "--alert-threshold", type=float, default=None, metavar="PCT",
+        help="fail (exit 3) when any bench's first→last median delta "
+        "exceeds PCT percent; regressions are printed as GitHub "
+        "::error annotations",
+    )
     p.set_defaults(func=cmd_trend)
 
 
 def cmd_trend(args: argparse.Namespace) -> int:
-    """Render the trend pages and print where they landed."""
+    """Render the trend pages; optionally gate on first→last regressions."""
     from pathlib import Path
 
-    from repro.analysis.trend import load_history, write_trend_pages
+    from repro.analysis.trend import load_history, regressions, write_trend_pages
 
     history = load_history(Path(args.history))
     labels, series = history
@@ -175,6 +213,21 @@ def cmd_trend(args: argparse.Namespace) -> int:
     print(f"{len(series)} benches over {len(labels)} run(s)")
     print(f"wrote {md_path}")
     print(f"wrote {html_path}")
+    if args.alert_threshold is not None:
+        flagged = regressions(labels, series, args.alert_threshold / 100.0)
+        for name, delta in flagged:
+            # GitHub Actions annotation syntax; plain noise elsewhere.
+            print(
+                f"::error title=bench regression::{name} is {delta:+.1%} "
+                f"vs the first run (threshold {args.alert_threshold:.0f}%)"
+            )
+        if flagged:
+            print(
+                f"{len(flagged)} bench(es) regressed beyond "
+                f"{args.alert_threshold:.0f}%"
+            )
+            return 3
+        print(f"no regressions beyond {args.alert_threshold:.0f}%")
     return 0
 
 
@@ -291,38 +344,68 @@ def _parse_int_list(text: str, option: str) -> list[int]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run the LU validation sweep and print the prediction-error study."""
+    """Run the LU validation sweep and print the prediction-error study.
+
+    Every case is a *pair* of declarative scenarios — a ``testbed``
+    measurement and a calibrated ``sim`` prediction of the same LU
+    configuration — executed through
+    :meth:`~repro.analysis.parallel.ParallelSweepRunner.run_records`, so
+    the CLI sweep and any spec-file sweep speak the same format.
+    """
     from repro.analysis.prediction import PredictionStudy
-    from repro.analysis.sweep import SweepCase, sweep
+    from repro.analysis.sweep import sweep_specs
+    from repro.scenario import (
+        AppSection,
+        EngineSection,
+        PlatformSection,
+        ScenarioSpec,
+    )
 
     block_sizes = _parse_int_list(args.r, "--r")
     node_counts = _parse_int_list(args.nodes, "--nodes")
-    cases = [
-        SweepCase(
-            f"r={r},nodes={nodes}",
-            LUConfig(
-                n=args.n,
-                r=r,
-                num_threads=max(nodes, 2),
-                num_nodes=nodes,
-                mode=SimulationMode.PDEXEC_NOALLOC,
-            ),
-            seed=args.seed,
-        )
-        for nodes in node_counts
-        for r in block_sizes
-    ]
+    labels = []
+    specs = []
+    for nodes in node_counts:
+        for r in block_sizes:
+            label = f"r={r},nodes={nodes}"
+            labels.append(label)
+            app = AppSection(
+                "lu",
+                {
+                    "n": args.n,
+                    "r": r,
+                    "num_threads": max(nodes, 2),
+                    "num_nodes": nodes,
+                },
+            )
+            specs.append(ScenarioSpec(
+                name=label,
+                app=app,
+                engine=EngineSection("testbed", mode="noalloc", seed=args.seed),
+            ))
+            specs.append(ScenarioSpec(
+                name=label,
+                app=app,
+                engine=EngineSection("sim", mode="noalloc", seed=args.seed),
+                platform=PlatformSection(calibrate=True),
+            ))
+    records = sweep_specs(specs, jobs=args.jobs)
     study = PredictionStudy()
-    results = sweep(cases, study=study, jobs=args.jobs)
-    rows = [
-        (
-            res.case.label,
-            f"{res.measured:.2f} s",
-            f"{res.predicted:.2f} s",
-            f"{res.error:+.1%}",
+    rows = []
+    for label, measured_rec, predicted_rec in zip(
+        labels, records[0::2], records[1::2]
+    ):
+        measured = measured_rec.makespan
+        predicted = predicted_rec.makespan
+        study.add(label, measured, predicted)
+        rows.append(
+            (
+                label,
+                f"{measured:.2f} s",
+                f"{predicted:.2f} s",
+                f"{(predicted - measured) / measured:+.1%}",
+            )
         )
-        for res in results
-    ]
     print(ascii_table(
         ("case", "measured", "predicted", "error"),
         rows,

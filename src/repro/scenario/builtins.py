@@ -1,0 +1,293 @@
+"""Built-in plugins for the default scenario registry.
+
+One place wires every name a :class:`~repro.scenario.spec.ScenarioSpec`
+may use to the concrete classes of the repository:
+
+* **apps** — ``lu``, ``stencil``, ``sort``, ``matmul``, ``imgpipe``;
+* **netmodels** — ``star`` (equal share, the paper's model), ``maxmin``,
+  ``packet``, ``backplane``, ``analytic``;
+* **cpumodels** — ``shared`` (the simulator's), ``timeslice`` (the
+  testbed's);
+* **providers** — ``costmodel`` (PDEXEC), ``direct``,
+  ``measure_first_n`` (plus the ``auto`` mode-derived default);
+* **engines** — ``sim``, ``testbed``, ``server``;
+* **workloads** — ``lu``, ``mixed`` cluster-server job streams;
+* **policies** — ``static``, ``fcfs``, ``backfill``, ``equipartition``,
+  ``adaptive`` schedulers.
+
+Extension guide: register your own under a new name (see
+``docs/scenarios.md``); the spec format never needs to change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.scenario.registry import AppPlugin, Registry
+
+
+def _strict(name: str, cls: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a model constructor so bad option names configuration-error."""
+
+    def factory(*args: Any, **options: Any) -> Any:
+        try:
+            return cls(*args, **options)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid options for {name!r}: {exc}"
+            ) from None
+
+    return factory
+
+
+# --------------------------------------------------------------------------
+# apps
+# --------------------------------------------------------------------------
+
+
+def _install_apps(registry: Registry) -> None:
+    from repro.apps.imgpipe import ImagePipelineApplication, ImagePipelineConfig
+    from repro.apps.lu.app import LUApplication
+    from repro.apps.lu.config import LUConfig
+    from repro.apps.lu.costs import LUCostModel
+    from repro.apps.matmul import MatmulApplication, MatmulConfig
+    from repro.apps.sort import (
+        SampleSortApplication,
+        SampleSortConfig,
+        SampleSortCostModel,
+    )
+    from repro.apps.stencil import (
+        StencilApplication,
+        StencilConfig,
+        StencilCostModel,
+    )
+    from repro.sim.providers import MachineCostModel
+
+    registry.register(
+        "app",
+        "lu",
+        AppPlugin(
+            name="lu",
+            config_cls=LUConfig,
+            build=LUApplication,
+            cost_model=lambda machine, cfg: LUCostModel(machine, cfg.r),
+            verify=lambda app, runtime: app.verify(runtime),
+            supports_schedule=True,
+            describe=lambda cfg: (
+                f"LU {cfg.n}x{cfg.n}, r={cfg.r}, variant={cfg.variant_name}, "
+                f"{cfg.num_threads} threads on {cfg.num_nodes} nodes, "
+                f"schedule={cfg.schedule.name}"
+            ),
+        ),
+    )
+    registry.register(
+        "app",
+        "stencil",
+        AppPlugin(
+            name="stencil",
+            config_cls=StencilConfig,
+            build=StencilApplication,
+            cost_model=lambda machine, cfg: StencilCostModel(
+                machine, cfg.rows, cfg.n
+            ),
+            verify=lambda app, runtime: app.verify(runtime),
+            supports_schedule=True,
+            describe=lambda cfg: (
+                f"stencil {cfg.n}x{cfg.n}, {cfg.stripes} stripes, "
+                f"{cfg.iterations} iterations, "
+                f"{'barrier' if cfg.barrier else 'pipelined'}, "
+                f"{cfg.num_threads} threads on {cfg.num_nodes} nodes"
+            ),
+        ),
+    )
+    registry.register(
+        "app",
+        "sort",
+        AppPlugin(
+            name="sort",
+            config_cls=SampleSortConfig,
+            build=SampleSortApplication,
+            cost_model=lambda machine, cfg: SampleSortCostModel(
+                machine, cfg.block, cfg.num_threads
+            ),
+            verify=lambda app, runtime: app.verify(),
+            describe=lambda cfg: (
+                f"sample sort of {cfg.m} keys, "
+                f"{cfg.num_threads} threads on {cfg.num_nodes} nodes"
+            ),
+        ),
+    )
+    registry.register(
+        "app",
+        "matmul",
+        AppPlugin(
+            name="matmul",
+            config_cls=MatmulConfig,
+            build=MatmulApplication,
+            cost_model=lambda machine, cfg: MachineCostModel(machine),
+            verify=lambda app, runtime: app.verify(),
+            describe=lambda cfg: (
+                f"matmul {cfg.n}x{cfg.n}, s={cfg.s}, "
+                f"{cfg.num_threads} threads on {cfg.num_nodes} nodes"
+            ),
+        ),
+    )
+    registry.register(
+        "app",
+        "imgpipe",
+        AppPlugin(
+            name="imgpipe",
+            config_cls=ImagePipelineConfig,
+            build=ImagePipelineApplication,
+            cost_model=lambda machine, cfg: MachineCostModel(machine),
+            describe=lambda cfg: (
+                f"imgpipe {cfg.frames} frames x {cfg.tiles_per_frame} tiles, "
+                f"{cfg.num_threads} threads on {cfg.num_nodes} nodes"
+            ),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# models
+# --------------------------------------------------------------------------
+
+
+def _install_netmodels(registry: Registry) -> None:
+    from repro.netmodel.analytic import AnalyticNetwork
+    from repro.netmodel.backplane import BackplaneStarNetwork
+    from repro.netmodel.maxmin import MaxMinStarNetwork
+    from repro.netmodel.packet import PacketNetwork
+    from repro.netmodel.star import EqualShareStarNetwork
+
+    registry.register("netmodel", "star", _strict("netmodel star", EqualShareStarNetwork))
+    registry.register("netmodel", "maxmin", _strict("netmodel maxmin", MaxMinStarNetwork))
+    registry.register("netmodel", "packet", _strict("netmodel packet", PacketNetwork))
+    registry.register(
+        "netmodel", "backplane", _strict("netmodel backplane", BackplaneStarNetwork)
+    )
+    registry.register("netmodel", "analytic", _strict("netmodel analytic", AnalyticNetwork))
+
+
+def _install_cpumodels(registry: Registry) -> None:
+    from repro.cpumodel.commcost import CommCostModel
+    from repro.cpumodel.shared import SharedCpuModel
+    from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+
+    def shared(kernel: Any, platform: Any, **options: Any) -> Any:
+        return _strict("cpumodel shared", SharedCpuModel)(
+            kernel, CommCostModel(platform.comm_cost), **options
+        )
+
+    def timeslice(kernel: Any, platform: Any, **options: Any) -> Any:
+        return _strict("cpumodel timeslice", TimesliceCpuModel)(
+            kernel, TimesliceParams(), **options
+        )
+
+    registry.register("cpumodel", "shared", shared)
+    registry.register("cpumodel", "timeslice", timeslice)
+
+
+# --------------------------------------------------------------------------
+# providers
+# --------------------------------------------------------------------------
+
+
+def _check_options(name: str, options: dict, valid: set[str]) -> None:
+    unknown = sorted(set(options) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown provider options {unknown} for {name!r}; "
+            f"valid: {sorted(valid)}"
+        )
+
+
+def _install_providers(registry: Registry) -> None:
+    from repro.sim.providers import (
+        CostModelProvider,
+        DirectExecutionProvider,
+        HostCalibration,
+        MeasureFirstNProvider,
+    )
+
+    def costmodel(spec, plugin, cfg, platform, mode, options):
+        _check_options("costmodel", options, set())
+        return CostModelProvider(
+            plugin.cost_model(platform.machine, cfg),
+            run_kernels=mode.runs_kernels,
+        )
+
+    def direct(spec, plugin, cfg, platform, mode, options):
+        _check_options("direct", options, {"persist"})
+        return DirectExecutionProvider(HostCalibration(platform.machine))
+
+    def measure_first_n(spec, plugin, cfg, platform, mode, options):
+        _check_options("measure_first_n", options, {"n", "persist"})
+        return MeasureFirstNProvider(
+            DirectExecutionProvider(HostCalibration(platform.machine)),
+            n=int(options.get("n", 3)),
+            run_kernels_after=mode.allocates,
+            persist=bool(options.get("persist", True)),
+        )
+
+    registry.register("provider", "costmodel", costmodel)
+    registry.register("provider", "direct", direct)
+    registry.register("provider", "measure_first_n", measure_first_n)
+
+
+# --------------------------------------------------------------------------
+# engines, workloads, policies
+# --------------------------------------------------------------------------
+
+
+def _install_engines(registry: Registry) -> None:
+    from repro.scenario.runner import run_server, run_sim, run_testbed
+
+    registry.register("engine", "sim", run_sim)
+    registry.register("engine", "testbed", run_testbed)
+    registry.register("engine", "server", run_server)
+
+
+def _install_workloads(registry: Registry) -> None:
+    from repro.clusterserver.workload import mixed_workload, synthetic_workload
+
+    registry.register("workload", "lu", synthetic_workload)
+    registry.register("workload", "mixed", mixed_workload)
+
+
+def _install_policies(registry: Registry) -> None:
+    from repro.clusterserver.scheduler import (
+        AdaptiveEfficiencyScheduler,
+        EquipartitionScheduler,
+        FcfsScheduler,
+        StaticScheduler,
+    )
+
+    registry.register(
+        "policy", "static", lambda c: StaticScheduler(c.nodes_per_job)
+    )
+    registry.register("policy", "fcfs", lambda c: FcfsScheduler())
+    registry.register(
+        "policy", "backfill", lambda c: FcfsScheduler(backfill=True)
+    )
+    registry.register(
+        "policy", "equipartition", lambda c: EquipartitionScheduler()
+    )
+    registry.register(
+        "policy",
+        "adaptive",
+        lambda c: AdaptiveEfficiencyScheduler(c.efficiency_floor),
+    )
+
+
+def install_builtins(registry: Registry) -> Registry:
+    """Install every built-in plugin into ``registry``; returns it."""
+    _install_apps(registry)
+    _install_netmodels(registry)
+    _install_cpumodels(registry)
+    _install_providers(registry)
+    _install_engines(registry)
+    _install_workloads(registry)
+    _install_policies(registry)
+    return registry

@@ -12,9 +12,10 @@ from __future__ import annotations
 import time
 import tracemalloc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.apps.base import Application
+from repro.cpumodel.base import CpuModel
 from repro.cpumodel.shared import SharedCpuModel
 from repro.cpumodel.commcost import CommCostModel
 from repro.des.kernel import Kernel
@@ -65,8 +66,13 @@ class DPSSimulator:
     trace_level:
         Execution detail to retain.
     network_factory:
-        Override the network model class (ablation studies); defaults to
-        the paper's :class:`EqualShareStarNetwork`.
+        Override the network model class (ablation studies, scenario
+        specs); defaults to the paper's :class:`EqualShareStarNetwork`.
+    cpu_factory:
+        Override the CPU model: a ``kernel -> CpuModel`` callable
+        (scenario specs bind their registry entry here); defaults to the
+        paper's :class:`SharedCpuModel` over the platform's
+        communication costs.
     measure_memory:
         Track peak memory with :mod:`tracemalloc` (adds host overhead;
         used by the Table 1 bench).
@@ -89,11 +95,13 @@ class DPSSimulator:
         measure_memory: bool = False,
         incremental: bool = True,
         verify_incremental: bool = False,
+        cpu_factory: Optional[Callable[[Kernel], "CpuModel"]] = None,
     ) -> None:
         self.platform = platform
         self.provider = provider
         self.trace_level = trace_level
         self.network_factory = network_factory
+        self.cpu_factory = cpu_factory
         self.measure_memory = measure_memory
         self.incremental = incremental
         self.verify_incremental = verify_incremental
@@ -111,12 +119,15 @@ class DPSSimulator:
                 incremental=self.incremental,
                 verify_incremental=self.verify_incremental,
             )
-        cpu = SharedCpuModel(
-            kernel,
-            CommCostModel(self.platform.comm_cost),
-            incremental=self.incremental,
-            verify_incremental=self.verify_incremental,
-        )
+        if self.cpu_factory is not None:
+            cpu: CpuModel = self.cpu_factory(kernel)
+        else:
+            cpu = SharedCpuModel(
+                kernel,
+                CommCostModel(self.platform.comm_cost),
+                incremental=self.incremental,
+                verify_incremental=self.verify_incremental,
+            )
         return ExecutionBackend(
             kernel,
             cpu,

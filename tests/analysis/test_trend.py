@@ -96,3 +96,49 @@ def test_write_trend_pages_and_cli(history, tmp_path, capsys):
     assert main(["trend", str(history), "--out", str(out)]) == 0
     captured = capsys.readouterr().out
     assert "3 benches over 3 run(s)" in captured
+
+
+# --------------------------------------------------------------------------
+# regression alerts
+# --------------------------------------------------------------------------
+
+
+def test_regressions_flags_first_to_last_delta(history):
+    from repro.analysis.trend import regressions
+
+    labels, series = load_history(history)
+    # test_fig08 went 1.00 -> 1.21 (+21%); test_alloc improved.
+    flagged = regressions(labels, series, 0.20)
+    assert [name for name, _ in flagged] == ["test_fig08"]
+    assert flagged[0][1] == pytest.approx(0.21)
+    assert regressions(labels, series, 0.25) == []
+
+
+def test_regressions_needs_two_points_and_valid_threshold(history):
+    from repro.analysis.trend import regressions
+
+    labels, series = load_history(history)
+    # The sharded bench has one data point: never flagged.
+    assert all(
+        name != "test_sharded_clusterserver_scaling"
+        for name, _ in regressions(labels, series, 0.0)
+    )
+    with pytest.raises(ConfigurationError):
+        regressions(labels, series, -0.1)
+
+
+def test_trend_cli_alert_threshold_exit_codes(history, tmp_path, capsys):
+    out = tmp_path / "trend-out"
+    code = main([
+        "trend", str(history), "--out", str(out), "--alert-threshold", "20",
+    ])
+    printed = capsys.readouterr().out
+    assert code == 3
+    assert "::error title=bench regression::test_fig08" in printed
+
+    code = main([
+        "trend", str(history), "--out", str(out), "--alert-threshold", "25",
+    ])
+    printed = capsys.readouterr().out
+    assert code == 0
+    assert "no regressions beyond 25%" in printed

@@ -246,3 +246,163 @@ def test_server_unknown_policy_fails(capsys):
     code = main(["server", "--jobs", "4", "--policy", "wishful"])
     assert code == 2
     assert "unknown policies" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# declarative scenarios: repro run / repro scenarios list
+# --------------------------------------------------------------------------
+
+
+EXAMPLES = __import__("pathlib").Path(__file__).resolve().parents[2] / "examples"
+
+try:
+    import tomllib  # noqa: F401
+    _HAS_TOMLLIB = True
+except ImportError:  # pragma: no cover - Python 3.10 CI leg
+    _HAS_TOMLLIB = False
+
+requires_toml = pytest.mark.skipif(
+    not _HAS_TOMLLIB, reason="TOML specs need Python 3.11+ (tomllib)"
+)
+
+
+@requires_toml
+def test_run_example_spec(capsys):
+    code = main(["run", str(EXAMPLES / "lu_sim.toml")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scenario 'lu-sim': app=lu engine=sim" in out
+    assert "makespan" in out
+    assert "per-phase dynamic efficiency" in out
+
+
+def test_run_json_output(capsys):
+    import json as _json
+
+    code = main(["run", str(EXAMPLES / "matmul_packet.json"), "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = _json.loads(out)
+    assert payload["engine"] == "sim"
+    assert payload["app"] == "matmul"
+    assert payload["makespan"] > 0
+
+
+@requires_toml
+def test_run_spec_matches_legacy_subcommand(tmp_path, capsys):
+    """The acceptance criterion: identical RunRecord metrics, bit-equal."""
+    import json as _json
+
+    run_path = tmp_path / "run.json"
+    lu_path = tmp_path / "lu.json"
+    assert main([
+        "run", str(EXAMPLES / "lu_sim.toml"), "--record-json", str(run_path),
+    ]) == 0
+    assert main([
+        "lu", "--n", "648", "--r", "216", "--threads", "4", "--nodes", "2",
+        "--mode", "noalloc", "--record-json", str(lu_path),
+    ]) == 0
+    capsys.readouterr()
+    via_spec = _json.loads(run_path.read_text())[0]
+    via_legacy = _json.loads(lu_path.read_text())[0]
+    assert via_spec["makespan"] == via_legacy["makespan"]
+    assert via_spec["phases"] == via_legacy["phases"]
+    assert via_spec["events"] == via_legacy["events"]
+
+
+@requires_toml
+def test_run_server_spec(capsys):
+    code = main(["run", str(EXAMPLES / "server_sharded.toml")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "engine=server" in out
+    assert "shard_epochs" in out
+
+
+def test_run_missing_spec_fails(capsys):
+    code = main(["run", "/nonexistent/spec.toml"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_scenarios_list(capsys):
+    code = main(["scenarios", "list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for line in ("app", "netmodel", "cpumodel", "provider", "engine",
+                 "workload", "policy"):
+        assert line in out
+    assert "lu, matmul, sort, stencil" in out.replace("imgpipe, ", "")
+
+
+def test_scenarios_list_kind_filter(capsys):
+    code = main(["scenarios", "list", "--kind", "engine"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "server, sim, testbed" in out
+    assert "maxmin" not in out
+
+    code = main(["scenarios", "list", "--kind", "flavor"])
+    assert code == 2
+    assert "unknown plugin kind" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# cache info: per-family sizes and --json
+# --------------------------------------------------------------------------
+
+
+def test_cache_info_reports_both_families_with_sizes(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code = main(["cache", "info"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "calibrations    : 0 (0 B)" in out
+    assert "kernel benches  : 0 (0 B)" in out
+
+
+def test_cache_info_json(tmp_path, monkeypatch, capsys):
+    import json as _json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    # Populate one calibration entry via a tiny serial sweep case.
+    assert main(["calibrate", "--target", "star"]) == 0
+    capsys.readouterr()
+    code = main(["cache", "info", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = _json.loads(out)
+    assert set(payload) == {"directory", "calibrations", "kernel_benches"}
+    for family in ("calibrations", "kernel_benches"):
+        assert {"entries", "count", "bytes"} <= set(payload[family])
+
+
+# --------------------------------------------------------------------------
+# persistent kernel-benchmark cache on direct-execution runs
+# --------------------------------------------------------------------------
+
+
+def test_direct_mode_persists_kernel_benchmarks(tmp_path, monkeypatch, capsys):
+    from repro.analysis import benchcache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    args = ["matmul", "--n", "96", "--s", "24", "--threads", "4",
+            "--nodes", "2", "--mode", "direct", "--verify"]
+    assert main(args) == 0
+    assert benchcache.entries(), "direct run should persist sample tables"
+    # The second run preloads the tables and still verifies.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert out.count("verification           : OK") == 2
+
+
+def test_no_persist_cache_restores_raw_direct_timing(tmp_path, monkeypatch, capsys):
+    from repro.analysis import benchcache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main([
+        "matmul", "--n", "96", "--s", "24", "--threads", "4", "--nodes", "2",
+        "--mode", "direct", "--no-persist-cache",
+    ]) == 0
+    capsys.readouterr()
+    assert benchcache.entries() == []

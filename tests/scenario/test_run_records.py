@@ -1,0 +1,257 @@
+"""RunRecord normalization parity: the same tiny LU scenario under every
+engine, compared field-by-field against the engine-native APIs."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.clusterserver import AdaptiveEfficiencyScheduler, ClusterServer
+from repro.clusterserver.workload import synthetic_workload
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    AppSection,
+    ClusterSection,
+    EngineSection,
+    ModelSection,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.sim.efficiency import dynamic_efficiency
+from repro.sim.modes import SimulationMode
+from repro.sim.platform import PAPER_CLUSTER
+from repro.sim.providers import CostModelProvider
+from repro.sim.simulator import DPSSimulator
+from repro.testbed.cluster import VirtualCluster
+from repro.testbed.executor import TestbedExecutor
+
+LU_OPTIONS = {"n": 192, "r": 48, "num_threads": 4, "num_nodes": 2}
+
+
+def _lu_config():
+    from repro.apps.lu.config import LUConfig
+
+    return LUConfig(mode=SimulationMode.PDEXEC_NOALLOC, **LU_OPTIONS)
+
+
+def _lu_spec(engine: str, **engine_kwargs) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lu-tiny",
+        app=AppSection("lu", dict(LU_OPTIONS)),
+        engine=EngineSection(name=engine, mode="noalloc", **engine_kwargs),
+    )
+
+
+def _server_spec(shards: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="srv-tiny",
+        app=AppSection("lu"),
+        engine=EngineSection(
+            name="server", seed=2, shards=shards, shard_mode="inprocess"
+        ),
+        cluster=ClusterSection(
+            nodes=12, jobs=6, interarrival=20.0, policy="adaptive"
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# per-engine parity
+# --------------------------------------------------------------------------
+
+
+class TestSimParity:
+    def test_record_matches_native_simulator(self):
+        from repro.apps.lu.app import LUApplication
+        from repro.apps.lu.costs import LUCostModel
+
+        record = run_scenario(_lu_spec("sim"))
+        cfg = _lu_config()
+        native = DPSSimulator(
+            PAPER_CLUSTER,
+            CostModelProvider(
+                LUCostModel(PAPER_CLUSTER.machine, cfg.r), run_kernels=False
+            ),
+        ).run(LUApplication(cfg))
+        assert record.engine == "sim"
+        assert record.makespan == native.predicted_time
+        assert record.events == native.events
+        native_phases = dynamic_efficiency(native.run)
+        assert len(record.phases) == len(native_phases)
+        for rec_phase, nat_phase in zip(record.phases, native_phases):
+            assert rec_phase.label == nat_phase.label
+            assert rec_phase.efficiency == nat_phase.efficiency
+            assert rec_phase.mean_nodes == nat_phase.mean_nodes
+
+    def test_verified_flag_and_payload_modes(self):
+        spec = ScenarioSpec(
+            name="matmul-verify",
+            app=AppSection(
+                "matmul", {"n": 96, "s": 24, "num_threads": 4, "num_nodes": 2}
+            ),
+            engine=EngineSection(name="sim", mode="pdexec", verify=True),
+        )
+        record = run_scenario(spec)
+        assert record.verified is True
+
+    def test_model_overrides_run(self):
+        spec = dataclasses.replace(
+            _lu_spec("sim"),
+            netmodel=ModelSection("maxmin"),
+            cpumodel=ModelSection("timeslice", {"seed": 5}),
+        )
+        record = run_scenario(spec)
+        assert record.makespan > 0
+        # the maxmin allocator's counters surface in the metrics
+        assert "net_warm_starts" in record.metrics
+
+    def test_unknown_model_option_reports_cleanly(self):
+        spec = dataclasses.replace(
+            _lu_spec("sim"), netmodel=ModelSection("star", {"warp": 9})
+        )
+        with pytest.raises(ConfigurationError, match="netmodel star"):
+            run_scenario(spec)
+
+
+class TestTestbedParity:
+    def test_record_matches_native_executor(self):
+        from repro.apps.lu.app import LUApplication
+
+        record = run_scenario(_lu_spec("testbed", seed=1))
+        cluster = VirtualCluster(num_nodes=2, seed=1)
+        native = TestbedExecutor(cluster, run_kernels=False).run(
+            LUApplication(_lu_config())
+        )
+        assert record.engine == "testbed"
+        assert record.makespan == native.measured_time
+        assert record.events == native.run.events_executed
+        assert [p.label for p in record.phases] == [
+            p.label for p in dynamic_efficiency(native.run)
+        ]
+
+    def test_seed_changes_measurement(self):
+        a = run_scenario(_lu_spec("testbed", seed=1))
+        b = run_scenario(_lu_spec("testbed", seed=2))
+        assert a.makespan != b.makespan
+
+
+class TestServerParity:
+    def test_record_matches_native_cluster_server(self):
+        record = run_scenario(_server_spec(shards=1))
+        specs = synthetic_workload(
+            jobs=6, mean_interarrival=20.0, seed=2, max_nodes=8
+        )
+        native = ClusterServer(12, AdaptiveEfficiencyScheduler(0.5)).run(specs)
+        assert record.engine == "server"
+        assert record.makespan == native.makespan
+        assert record.events == native.events
+        assert record.metrics["mean_turnaround"] == native.mean_turnaround
+        assert record.metrics["cluster_efficiency"] == native.cluster_efficiency
+        assert record.metrics["service_rate"] == native.service_rate
+        assert record.phases == ()
+
+    def test_sharded_record_agrees_with_eager(self):
+        eager = run_scenario(_server_spec(shards=1))
+        sharded = run_scenario(_server_spec(shards=2))
+        # The documented eager-vs-sharded agreement bound (docs/sharding.md).
+        assert sharded.makespan == pytest.approx(eager.makespan, rel=1e-9)
+        for key in ("mean_turnaround", "mean_slowdown", "cluster_efficiency"):
+            assert sharded.metrics[key] == pytest.approx(
+                eager.metrics[key], rel=1e-9
+            )
+        assert sharded.metrics["shard_epochs"] > 0
+        assert sharded.metrics["shard_shards"] == 2
+
+    def test_sharded_is_deterministic_across_shard_counts(self):
+        two = run_scenario(_server_spec(shards=2))
+        three = run_scenario(_server_spec(shards=3))
+        # Bit-identical across K, per the sharding determinism contract.
+        assert two.makespan == three.makespan
+        assert two.metrics["mean_turnaround"] == three.metrics["mean_turnaround"]
+
+
+# --------------------------------------------------------------------------
+# the record schema itself
+# --------------------------------------------------------------------------
+
+
+class TestRunRecordSchema:
+    def test_to_dict_is_json_ready_and_raw_free(self):
+        record = run_scenario(_lu_spec("sim"))
+        payload = record.to_dict()
+        text = json.dumps(payload)  # must not raise
+        assert "raw" not in payload
+        assert json.loads(text)["scenario"] == "lu-tiny"
+        assert payload["phases"][0]["label"] == "iter1"
+
+    def test_without_raw_preserves_equality(self):
+        record = run_scenario(_lu_spec("sim"))
+        stripped = record.without_raw()
+        assert stripped == record  # raw is excluded from comparison
+        assert stripped.raw == {}
+        assert record.raw  # the in-process record keeps the native objects
+
+    def test_mean_efficiency_property(self):
+        record = run_scenario(_lu_spec("sim"))
+        assert record.mean_efficiency is not None
+        assert 0.0 < record.mean_efficiency <= 1.0
+        server = run_scenario(_server_spec())
+        assert server.mean_efficiency is None
+
+    def test_unknown_engine_and_app_error_paths(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            run_scenario(ScenarioSpec.from_dict({"engine": {"name": "quantum"}}))
+        with pytest.raises(ConfigurationError, match="unknown app"):
+            run_scenario(ScenarioSpec.from_dict({"app": {"name": "nbody"}}))
+
+    def test_engines_reject_sections_they_do_not_use(self):
+        # sim: the cluster section is server-only.
+        with pytest.raises(ConfigurationError, match="does not use the 'cluster'"):
+            run_scenario(dataclasses.replace(
+                _lu_spec("sim"), cluster=ClusterSection(nodes=4)
+            ))
+        # sim/testbed: sharding is server-only.
+        with pytest.raises(ConfigurationError, match="does not shard"):
+            run_scenario(_lu_spec("sim", shards=2))
+        # testbed: its models, provider and platform are the ground truth.
+        with pytest.raises(ConfigurationError, match="does not use the 'netmodel'"):
+            run_scenario(dataclasses.replace(
+                _lu_spec("testbed"), netmodel=ModelSection("maxmin")
+            ))
+        from repro.scenario import PlatformSection
+
+        with pytest.raises(ConfigurationError, match="does not use the 'platform'"):
+            run_scenario(dataclasses.replace(
+                _lu_spec("testbed"), platform=PlatformSection(calibrate=True)
+            ))
+        # server: no DPS models, app options, kill events, modes or verify.
+        with pytest.raises(ConfigurationError, match="does not use the 'netmodel'"):
+            run_scenario(dataclasses.replace(
+                _server_spec(), netmodel=ModelSection("maxmin")
+            ))
+        with pytest.raises(ConfigurationError, match="no app options"):
+            run_scenario(dataclasses.replace(
+                _server_spec(), app=AppSection("lu", {"n": 648})
+            ))
+        with pytest.raises(ConfigurationError, match="kill events"):
+            run_scenario(dataclasses.replace(_server_spec(), events=("1@1",)))
+        with pytest.raises(ConfigurationError, match="unknown server engine"):
+            run_scenario(dataclasses.replace(
+                _server_spec(),
+                engine=dataclasses.replace(
+                    _server_spec().engine, options={"trace_levle": "full"}
+                ),
+            ))
+        with pytest.raises(ConfigurationError, match="no numerical result"):
+            run_scenario(dataclasses.replace(
+                _server_spec(),
+                engine=dataclasses.replace(_server_spec().engine, verify=True),
+            ))
+
+    def test_verify_without_verifier_rejected(self):
+        spec = ScenarioSpec(
+            app=AppSection("imgpipe"),
+            engine=EngineSection(name="sim", mode="noalloc", verify=True),
+        )
+        with pytest.raises(ConfigurationError, match="no verification"):
+            run_scenario(spec)

@@ -1,0 +1,192 @@
+"""ScenarioSpec: round trips, validation, file loading."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    AppSection,
+    ClusterSection,
+    EngineSection,
+    ModelSection,
+    PlatformSection,
+    ProviderSection,
+    ScenarioSpec,
+)
+from repro.sim.modes import SimulationMode
+
+tomllib = pytest.importorskip("tomllib", reason="TOML specs need Python 3.11+")
+
+
+def _full_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lu-full",
+        app=AppSection("lu", {"n": 648, "r": 216, "num_threads": 4, "num_nodes": 2}),
+        engine=EngineSection(
+            name="sim", mode="noalloc", seed=3, verify=False,
+            shards=1, shard_mode="auto",
+        ),
+        netmodel=ModelSection("maxmin", {"warm_start": True}),
+        cpumodel=ModelSection("shared"),
+        provider=ProviderSection("costmodel"),
+        platform=PlatformSection("paper", calibrate=True),
+        cluster=ClusterSection(nodes=12, jobs=6),
+        events=("2,3@1",),
+    )
+
+
+# --------------------------------------------------------------------------
+# round trips
+# --------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_dict_to_spec_to_dict_is_identity(self):
+        spec = _full_spec()
+        canonical = spec.to_dict()
+        assert ScenarioSpec.from_dict(canonical).to_dict() == canonical
+
+    def test_spec_to_dict_to_spec_is_identity(self):
+        spec = _full_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self):
+        spec = _full_spec()
+        text = spec.to_json()
+        assert ScenarioSpec.from_json(text) == spec
+        assert json.loads(text) == spec.to_dict()
+
+    def test_default_spec_round_trips(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_toml_document_expands_to_canonical_dict(self):
+        text = """
+            name = "lu-toml"
+            events = ["2,3@1"]
+
+            [app]
+            name = "lu"
+
+            [app.options]
+            n = 648
+            r = 216
+
+            [engine]
+            name = "sim"
+            mode = "noalloc"
+        """
+        spec = ScenarioSpec.from_toml(text)
+        expected = ScenarioSpec(
+            name="lu-toml",
+            app=AppSection("lu", {"n": 648, "r": 216}),
+            engine=EngineSection(name="sim", mode="noalloc"),
+            events=("2,3@1",),
+        )
+        assert spec == expected
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_partial_dict_gets_defaults(self):
+        spec = ScenarioSpec.from_dict({"name": "tiny", "app": {"name": "sort"}})
+        assert spec.engine.name == "sim"
+        assert spec.netmodel.name == "star"
+        assert spec.cluster.nodes == 16
+        assert spec.events == ()
+
+    def test_mode_and_schedule_helpers(self):
+        spec = _full_spec()
+        assert spec.mode() is SimulationMode.PDEXEC_NOALLOC
+        schedule = spec.schedule()
+        assert schedule.events[0].after_phase == "iter1"
+        assert schedule.events[0].thread_indices == (2, 3)
+
+
+# --------------------------------------------------------------------------
+# validation
+# --------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown top-level"):
+            ScenarioSpec.from_dict({"name": "x", "appp": {}})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            ScenarioSpec.from_dict({"engine": {"nam": "sim"}})
+
+    def test_reserved_app_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            AppSection("lu", {"mode": "direct"})
+        with pytest.raises(ConfigurationError, match="reserved"):
+            AppSection("lu", {"schedule": None})
+
+    def test_bad_engine_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine.mode"):
+            EngineSection(mode="warp")
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            EngineSection(shards=0)
+        with pytest.raises(ConfigurationError, match="shard_mode"):
+            EngineSection(shard_mode="quantum")
+
+    def test_bad_events_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="kill spec"):
+            ScenarioSpec(events=("oops",))
+
+    def test_bad_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSection(nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterSection(interarrival=0.0)
+
+    def test_non_dict_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="table/dict"):
+            AppSection("lu", options=[1, 2])  # type: ignore[arg-type]
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_invalid_toml_text(self):
+        with pytest.raises(ConfigurationError, match="invalid TOML"):
+            ScenarioSpec.from_toml("= garbage =")
+
+
+# --------------------------------------------------------------------------
+# files
+# --------------------------------------------------------------------------
+
+
+class TestFiles:
+    def test_from_file_by_suffix(self, tmp_path):
+        spec = _full_spec()
+        json_path = tmp_path / "spec.json"
+        json_path.write_text(spec.to_json(), encoding="utf-8")
+        assert ScenarioSpec.from_file(json_path) == spec
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="unknown scenario spec format"):
+            ScenarioSpec.from_file(path)
+
+    def test_missing_file_reports_cleanly(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            ScenarioSpec.from_file(tmp_path / "absent.toml")
+
+    def test_example_specs_load(self):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        for name in (
+            "lu_sim.toml",
+            "lu_testbed.toml",
+            "matmul_packet.json",
+            "server_eager.toml",
+            "server_sharded.toml",
+        ):
+            spec = ScenarioSpec.from_file(examples / name)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
