@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 
 from _common import SEED
 from repro.analysis.tables import ascii_table
@@ -260,3 +261,139 @@ def test_sharded_process_mode_identical(benchmark):
     )
     assert _results_identical(holder["result"], baseline)
     assert server.stats.mode == "process"
+
+
+# --------------------------------------------------------------------------
+# open-system million-job regime (the docs/workloads.md acceptance gate)
+# --------------------------------------------------------------------------
+
+OPEN_BENCH_JOBS = int(os.environ.get("REPRO_OPEN_BENCH_JOBS", "1000000"))
+OPEN_BENCH_NODES = 128
+# ~60 active jobs at this load; a generous ceiling that is still three
+# orders of magnitude below what materializing 1M JobSpecs would need.
+OPEN_BENCH_PEAK_BYTES = 64 * 1024 * 1024
+OPEN_BENCH_PEAK_RATIO = 3.0
+
+
+def open_stream(jobs: int, seed: int = SEED):
+    """A Poisson stream of single-node jobs, generated lazily.
+
+    Mean work 60 s at 1 job/s on 128 nodes keeps utilization near 0.47
+    and the *active* set near 60 jobs regardless of how many jobs the
+    stream carries — the invariant the memory gate pins down.
+    """
+    rng = SeedSequenceFactory(seed).rng("open-bench")
+    t = 0.0
+    for i in range(jobs):
+        t += float(rng.exponential(1.0))
+        work = float(rng.uniform(30.0, 90.0))
+        yield t, JobSpec(
+            name=f"job{i}",
+            arrival=t,
+            phase_work=(work,),
+            efficiency=amdahl_efficiency(0.9),
+            max_nodes=1,
+            min_nodes=1,
+            preferred_nodes=1,
+        )
+
+
+def _traced_open_run(jobs: int, shards: int):
+    """Run the sharded open-system engine under tracemalloc."""
+    server = ShardedServer(
+        OPEN_BENCH_NODES, FcfsScheduler(backfill=True),
+        shards=shards, mode="inprocess",
+    )
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    try:
+        result = server.run(open_stream(jobs))
+        wall = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, server.stats, wall, peak
+
+
+def test_sharded_open_system_million_jobs(benchmark):
+    """The million-job gate: O(active-jobs) memory, bit-identical shards.
+
+    One million Poisson arrivals (``REPRO_OPEN_BENCH_JOBS`` overrides)
+    stream through the 4-shard engine under ``tracemalloc``.  The peak
+    must stay under an absolute ceiling *and* under a small multiple of
+    a 10x-shorter run's peak — memory tracks the ~60-job active set,
+    not the stream length.  Shard-count identity (the SLO summary
+    included) is asserted on a truncated prefix so the full regime only
+    runs once.
+    """
+    jobs = OPEN_BENCH_JOBS
+
+    # Determinism gate first: K in {1, 2, 4} agree bit-for-bit, SLO
+    # summary included, on a prefix of the same stream.
+    prefix = min(jobs, 20_000)
+    results = {}
+    for shards in (1, 2, 4):
+        server = ShardedServer(
+            OPEN_BENCH_NODES, FcfsScheduler(backfill=True),
+            shards=shards, mode="inprocess",
+        )
+        results[shards] = server.run(open_stream(prefix))
+        assert sum(server.stats.shard_jobs) == prefix
+    assert results[2] == results[1]
+    assert results[4] == results[1]
+    assert results[4].slo == results[1].slo
+
+    # Memory gate: the short run sets the yardstick, the full run must
+    # not outgrow it even with 10x (default 50x) the jobs.
+    short_jobs = max(prefix, jobs // 10)
+    _, _, short_wall, short_peak = _traced_open_run(short_jobs, shards=4)
+
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.update(
+            zip(("result", "stats", "wall", "peak"),
+                _traced_open_run(jobs, shards=4))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result, stats = holder["result"], holder["stats"]
+    wall, peak = holder["wall"], holder["peak"]
+    slo = result.slo
+
+    print()
+    print(
+        ascii_table(
+            ("jobs", "wall [s]", "peak [MB]", "throughput [1/s]",
+             "p50 sojourn [s]", "p99 sojourn [s]", "util"),
+            [
+                (f"{short_jobs}", f"{short_wall:.1f}",
+                 f"{short_peak / 1e6:.2f}", "-", "-", "-", "-"),
+                (f"{jobs}", f"{wall:.1f}", f"{peak / 1e6:.2f}",
+                 f"{slo.throughput:.3f}", f"{slo.sojourn_p50:.1f}",
+                 f"{slo.sojourn_p99:.1f}", f"{slo.utilization_mean:.2f}"),
+            ],
+            title=(
+                f"Open-system sharded clusterserver — Poisson stream on "
+                f"{OPEN_BENCH_NODES} nodes ({stats.mode} shards, K=4)"
+            ),
+        )
+    )
+    print(
+        f"epochs {stats.epochs}, reallocations {stats.allocations} "
+        f"({stats.allocations_elided} elided), jobs/shard "
+        f"{list(stats.shard_jobs)}"
+    )
+
+    assert result.jobs_completed == jobs
+    assert result.job_turnaround == {}  # per-job state retired, not kept
+    assert slo.sojourn_p50 > 0 and slo.sojourn_p99 >= slo.sojourn_p50
+    # The memory gate proper: O(active jobs), not O(stream length).
+    assert peak < OPEN_BENCH_PEAK_BYTES, (
+        f"peak {peak / 1e6:.1f} MB exceeds the "
+        f"{OPEN_BENCH_PEAK_BYTES / 1e6:.0f} MB open-system ceiling"
+    )
+    assert peak < OPEN_BENCH_PEAK_RATIO * short_peak, (
+        f"peak grew {peak / short_peak:.1f}x between {short_jobs} and "
+        f"{jobs} jobs; open-system memory must be O(active jobs)"
+    )

@@ -128,7 +128,12 @@ def add_scenarios_parser(sub: argparse._SubParsersAction) -> None:
 
 
 def cmd_scenarios_list(args: argparse.Namespace) -> int:
-    """Print the registry contents, one ``kind : names`` line each."""
+    """Print the registry contents, one ``kind : names`` line each.
+
+    Plugins registered with a description (the arrival processes and
+    scheduling policies, notably) get an indented ``name - summary``
+    line under their kind.
+    """
     registry = default_registry()
     kinds = registry.kinds()
     if args.kind is not None:
@@ -136,5 +141,15 @@ def cmd_scenarios_list(args: argparse.Namespace) -> int:
         registry.names(args.kind)
         kinds = (args.kind,)
     for kind in kinds:
-        print(f"{kind:<9}: {', '.join(registry.names(kind))}")
+        names = registry.names(kind)
+        print(f"{kind:<9}: {', '.join(names)}")
+        described = [
+            (name, registry.describe(kind, name))
+            for name in names
+            if registry.describe(kind, name)
+        ]
+        if described:
+            width = max(len(name) for name, _ in described)
+            for name, description in described:
+                print(f"    {name:<{width}} - {description}")
     return 0

@@ -23,8 +23,19 @@ from repro.clusterserver.workload import (
     stencil_like_job,
     synthetic_workload,
 )
+from repro.clusterserver.arrivals import (
+    ArrivalProcess,
+    bursty_arrivals,
+    closed_stream,
+    diurnal_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
+from repro.clusterserver.metrics import SloAggregator, SloSummary
 from repro.clusterserver.scheduler import (
     AdaptiveEfficiencyScheduler,
+    AdmissionControlScheduler,
+    AutoscalingScheduler,
     EquipartitionScheduler,
     FcfsScheduler,
     Scheduler,
@@ -42,11 +53,21 @@ __all__ = [
     "rampup_job",
     "synthetic_workload",
     "mixed_workload",
+    "ArrivalProcess",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "trace_arrivals",
+    "closed_stream",
+    "SloAggregator",
+    "SloSummary",
     "Scheduler",
     "StaticScheduler",
     "FcfsScheduler",
     "EquipartitionScheduler",
     "AdaptiveEfficiencyScheduler",
+    "AdmissionControlScheduler",
+    "AutoscalingScheduler",
     "ClusterServer",
     "ServerResult",
     "JobShard",

@@ -1,0 +1,307 @@
+"""Open-system arrival processes: lazy ``(time, JobSpec)`` streams.
+
+The closed workloads of :mod:`repro.clusterserver.workload` materialize
+every job up front — fine for paper-scale scenarios, fatal for the
+ROADMAP's production-scale regime where job counts climb orders of
+magnitude.  An :class:`ArrivalProcess` is the open-system counterpart:
+any iterable yielding ``(arrival_time, JobSpec)`` pairs in nondecreasing
+time order, consumed lazily by the engines so that only *active* jobs
+ever hold memory.
+
+Four generator families cover the usual traffic shapes:
+
+* :func:`poisson_arrivals` — memoryless arrivals at a constant rate, the
+  open-system analogue of ``synthetic_workload``;
+* :func:`bursty_arrivals` — a two-state MMPP (Markov-modulated Poisson
+  process): quiet/burst phases with exponential dwell times, the burst
+  state arriving ``burst_factor`` times faster;
+* :func:`diurnal_arrivals` — a sinusoidal rate profile via Lewis-Shedler
+  thinning, modeling daily load cycles;
+* :func:`trace_arrivals` — replay of a JSON-lines trace file, one job
+  per line.
+
+All generators draw from :class:`~repro.util.rng.SeedSequenceFactory`
+streams keyed by process name, so a given ``(process, seed)`` pair is a
+reproducible workload.  Every process takes a stop condition — a job
+count, a time horizon, or both — because an unbounded stream with no
+admission control would never drain.
+
+:func:`closed_stream` adapts a materialized job list to the stream
+interface, letting both engines speak streams exclusively while the
+closed paths stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.clusterserver.workload import (
+    JobSpec,
+    amdahl_efficiency,
+    lu_like_job,
+    rampup_job,
+    stencil_like_job,
+)
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedSequenceFactory
+
+#: An arrival process: yields ``(arrival_time, JobSpec)`` lazily, in
+#: nondecreasing time order.  Any iterable qualifies; the generators in
+#: this module are the built-in implementations.
+ArrivalProcess = Iterable[tuple[float, JobSpec]]
+
+#: Job-shape families an arrival process can sample (the same draw
+#: conventions as the closed ``synthetic_workload``/``mixed_workload``).
+JOB_SHAPES = ("lu", "mixed")
+
+
+def _check_stop(jobs: Optional[int], horizon: Optional[float]) -> None:
+    if jobs is None and horizon is None:
+        raise ConfigurationError(
+            "an arrival process needs a stop condition: set jobs (count) "
+            "and/or horizon (last admission time)"
+        )
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError("arrivals.jobs must be >= 1")
+    if horizon is not None and horizon <= 0:
+        raise ConfigurationError("arrivals.horizon must be > 0")
+
+
+def _sample_job(shape: str, rng, index: int, t: float, max_nodes: int) -> JobSpec:
+    """Draw one job of the given shape family (same draws as the closed
+    generators, so stream workloads stay statistically comparable)."""
+    if shape == "lu":
+        return lu_like_job(
+            f"job{index}",
+            arrival=t,
+            nb=int(rng.integers(4, 12)),
+            unit_work=float(rng.uniform(5.0, 25.0)),
+            parallel_fraction=float(rng.uniform(0.92, 0.99)),
+            max_nodes=max_nodes,
+        )
+    if shape == "mixed":
+        unit = float(rng.uniform(5.0, 25.0))
+        pf = float(rng.uniform(0.92, 0.99))
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            return lu_like_job(
+                f"lu{index}", t, nb=int(rng.integers(4, 12)), unit_work=unit,
+                parallel_fraction=pf, max_nodes=max_nodes,
+            )
+        if kind == 1:
+            return stencil_like_job(
+                f"st{index}", t, iterations=int(rng.integers(5, 15)),
+                unit_work=unit, parallel_fraction=pf, max_nodes=max_nodes,
+            )
+        return rampup_job(
+            f"rr{index}", t, phases=int(rng.integers(4, 10)),
+            unit_work=unit, parallel_fraction=pf, max_nodes=max_nodes,
+        )
+    raise ConfigurationError(
+        f"unknown job shape {shape!r}; choose from {list(JOB_SHAPES)}"
+    )
+
+
+def poisson_arrivals(
+    mean_interarrival: float = 25.0,
+    *,
+    shape: str = "lu",
+    seed: int = 0,
+    max_nodes: int = 8,
+    jobs: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> Iterator[tuple[float, JobSpec]]:
+    """Constant-rate memoryless arrivals (rate ``1/mean_interarrival``)."""
+    if mean_interarrival <= 0:
+        raise ConfigurationError("mean_interarrival must be > 0")
+    _check_stop(jobs, horizon)
+    rng = SeedSequenceFactory(seed).rng("arrivals/poisson")
+    t = 0.0
+    i = 0
+    while jobs is None or i < jobs:
+        t += float(rng.exponential(mean_interarrival))
+        if horizon is not None and t > horizon:
+            return
+        yield t, _sample_job(shape, rng, i, t, max_nodes)
+        i += 1
+
+
+def bursty_arrivals(
+    mean_interarrival: float = 25.0,
+    *,
+    burst_factor: float = 8.0,
+    mean_quiet: float = 400.0,
+    mean_burst: float = 100.0,
+    shape: str = "lu",
+    seed: int = 0,
+    max_nodes: int = 8,
+    jobs: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> Iterator[tuple[float, JobSpec]]:
+    """Two-state MMPP: quiet/burst phases with exponential dwell times.
+
+    The quiet state arrives at ``1/mean_interarrival``; the burst state
+    ``burst_factor`` times faster.  Dwell times are exponential with
+    means ``mean_quiet``/``mean_burst``.  Because the exponential is
+    memoryless, redrawing the pending gap at each state switch is
+    distributionally exact.
+    """
+    if mean_interarrival <= 0:
+        raise ConfigurationError("mean_interarrival must be > 0")
+    if burst_factor < 1.0:
+        raise ConfigurationError("burst_factor must be >= 1")
+    if mean_quiet <= 0 or mean_burst <= 0:
+        raise ConfigurationError("mean_quiet and mean_burst must be > 0")
+    _check_stop(jobs, horizon)
+    rng = SeedSequenceFactory(seed).rng("arrivals/bursty")
+    t = 0.0
+    i = 0
+    bursting = False
+    t_switch = t + float(rng.exponential(mean_quiet))
+    while jobs is None or i < jobs:
+        mean = mean_interarrival / (burst_factor if bursting else 1.0)
+        gap = float(rng.exponential(mean))
+        if t + gap >= t_switch:
+            # Dwell expired before the next arrival: flip state and
+            # redraw from the switch instant (exact by memorylessness).
+            t = t_switch
+            bursting = not bursting
+            t_switch = t + float(
+                rng.exponential(mean_burst if bursting else mean_quiet)
+            )
+            continue
+        t += gap
+        if horizon is not None and t > horizon:
+            return
+        yield t, _sample_job(shape, rng, i, t, max_nodes)
+        i += 1
+
+
+def diurnal_arrivals(
+    mean_interarrival: float = 25.0,
+    *,
+    amplitude: float = 0.5,
+    period: float = 1000.0,
+    shape: str = "lu",
+    seed: int = 0,
+    max_nodes: int = 8,
+    jobs: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> Iterator[tuple[float, JobSpec]]:
+    """Sinusoidal rate profile via Lewis-Shedler thinning.
+
+    The instantaneous rate is ``(1 + amplitude * sin(2*pi*t/period)) /
+    mean_interarrival``: candidate arrivals are drawn at the peak rate
+    and accepted with probability ``rate(t)/peak``.
+    """
+    if mean_interarrival <= 0:
+        raise ConfigurationError("mean_interarrival must be > 0")
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigurationError("amplitude must be in [0, 1)")
+    if period <= 0:
+        raise ConfigurationError("period must be > 0")
+    _check_stop(jobs, horizon)
+    rng = SeedSequenceFactory(seed).rng("arrivals/diurnal")
+    base = 1.0 / mean_interarrival
+    peak = base * (1.0 + amplitude)
+    t = 0.0
+    i = 0
+    while jobs is None or i < jobs:
+        t += float(rng.exponential(1.0 / peak))
+        if horizon is not None and t > horizon:
+            return
+        rate = base * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period))
+        if float(rng.uniform(0.0, 1.0)) * peak >= rate:
+            continue  # thinned-out candidate
+        yield t, _sample_job(shape, rng, i, t, max_nodes)
+        i += 1
+
+
+def trace_arrivals(
+    path: "str | Path",
+    *,
+    jobs: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> Iterator[tuple[float, JobSpec]]:
+    """Replay a JSON-lines trace file, one job per line.
+
+    Each line is an object with ``arrival`` (seconds) and ``phase_work``
+    (list of positive floats), plus optional ``name``,
+    ``parallel_fraction`` (default 0.95), ``max_nodes`` (default 8),
+    ``min_nodes`` and ``preferred_nodes``.  Lines must be in
+    nondecreasing arrival order.  Unlike the synthetic processes a trace
+    is finite by construction, so the stop condition is optional and only
+    truncates.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read arrival trace: {exc}") from None
+    last_t = -math.inf
+    emitted = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if jobs is not None and emitted >= jobs:
+            return
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path.name}:{lineno}: invalid JSON: {exc}"
+            ) from None
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"{path.name}:{lineno}: each trace line must be an object"
+            )
+        try:
+            t = float(entry["arrival"])
+            work = tuple(float(w) for w in entry["phase_work"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"{path.name}:{lineno}: needs 'arrival' and 'phase_work': "
+                f"{exc}"
+            ) from None
+        if t < last_t:
+            raise ConfigurationError(
+                f"{path.name}:{lineno}: arrivals must be nondecreasing "
+                f"({t} after {last_t})"
+            )
+        last_t = t
+        if horizon is not None and t > horizon:
+            return
+        try:
+            spec = JobSpec(
+                name=str(entry.get("name", f"trace{lineno}")),
+                arrival=t,
+                phase_work=work,
+                efficiency=amdahl_efficiency(
+                    float(entry.get("parallel_fraction", 0.95))
+                ),
+                max_nodes=int(entry.get("max_nodes", 8)),
+                min_nodes=int(entry.get("min_nodes", 1)),
+                preferred_nodes=int(entry.get("preferred_nodes", 0)),
+            )
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"{path.name}:{lineno}: bad job: {exc}"
+            ) from None
+        yield t, spec
+        emitted += 1
+
+
+def closed_stream(
+    specs: Sequence[JobSpec],
+) -> Iterator[tuple[float, JobSpec]]:
+    """Adapt a materialized (closed) job list to the stream interface.
+
+    Yields the exact ``JobSpec`` objects in arrival order, so a closed
+    workload pushed through the open-system machinery reproduces the
+    closed run bit-for-bit.
+    """
+    for spec in sorted(specs, key=lambda s: s.arrival):
+        yield spec.arrival, spec

@@ -1,0 +1,200 @@
+"""Streaming SLO aggregates for open-system cluster-server runs.
+
+The open-system engines (:class:`~repro.clusterserver.server.ClusterServer`
+and :class:`~repro.clusterserver.sharded.ShardedServer` fed by an arrival
+stream) retire completed jobs immediately instead of retaining
+:class:`~repro.clusterserver.workload.MalleableJob` objects for the whole
+run — that is what makes their memory O(active jobs).  Everything a
+retired job contributes to the result is folded into a
+:class:`SloAggregator` at retirement time:
+
+* sojourn (turnaround), wait and slowdown moments via
+  :class:`~repro.util.stats.OnlineStats`;
+* sojourn p50/p99 via the mergeable
+  :class:`~repro.util.stats.StreamingQuantile` reservoir;
+* rejection counts from admission-control policies;
+* a bounded utilization-over-time series (busy/capacity node-second
+  integrals per coalescing time bucket).
+
+All folds are plain float arithmetic in a deterministic call order, so the
+sharded engine's controller-side aggregator produces **bit-identical**
+:class:`SloSummary` values for every shard count — the same contract the
+per-job dicts of closed runs satisfy.  :meth:`SloAggregator.merge`
+additionally supports fan-in of independently built aggregators (e.g. per
+shard or per sweep case), at reservoir accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.stats import OnlineStats, StreamingQuantile
+
+#: Utilization buckets kept before adjacent pairs are coalesced; the
+#: series never exceeds twice this length, keeping the aggregator O(1).
+UTILIZATION_POINTS = 96
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """Frozen scalar SLO outcome of one open-system run.
+
+    A plain value object (compares bit-exactly) so the sharded
+    determinism tests can assert summary equality across shard counts.
+    ``utilization_series`` is a tuple of ``(bucket_end_time, utilization)``
+    pairs — the utilization-over-time signal, bounded in length.
+    """
+
+    jobs_completed: int
+    jobs_rejected: int
+    throughput: float
+    sojourn_mean: float
+    sojourn_p50: float
+    sojourn_p99: float
+    wait_mean: float
+    slowdown_mean: float
+    slowdown_max: float
+    rejection_rate: float
+    total_work: float
+    node_seconds: float
+    utilization_mean: float
+    utilization_series: tuple[tuple[float, float], ...] = ()
+
+    def to_metrics(self) -> dict[str, float]:
+        """Flat scalar dict for :class:`~repro.scenario.runner.RunRecord`."""
+        return {
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "throughput": self.throughput,
+            "sojourn_mean": self.sojourn_mean,
+            "sojourn_p50": self.sojourn_p50,
+            "sojourn_p99": self.sojourn_p99,
+            "wait_mean": self.wait_mean,
+            "slowdown_mean": self.slowdown_mean,
+            "slowdown_max": self.slowdown_max,
+            "rejection_rate": self.rejection_rate,
+            "utilization_mean": self.utilization_mean,
+        }
+
+
+class SloAggregator:
+    """Folds retired jobs, rejections and utilization into O(1) state."""
+
+    def __init__(self, quantile_capacity: int = 512) -> None:
+        self.sojourn = OnlineStats()
+        self.wait = OnlineStats()
+        self.slowdown = OnlineStats()
+        self.sojourn_quantile = StreamingQuantile(quantile_capacity)
+        self.completed = 0
+        self.rejected = 0
+        self.total_work = 0.0
+        self.node_seconds = 0.0
+        self._busy_integral = 0.0
+        self._cap_integral = 0.0
+        self._last_t = 0.0
+        self._granted = 0
+        self._capacity = 0
+        #: [bucket_end_time, busy node-seconds, capacity node-seconds]
+        self._series: list[list[float]] = []
+
+    # ------------------------------------------------------------- observe
+    def observe_completion(self, job: Any) -> None:
+        """Retire one finished :class:`MalleableJob`: fold, then forget."""
+        spec = job.spec
+        sojourn = job.finished_at - spec.arrival
+        self.sojourn.add(sojourn)
+        self.sojourn_quantile.add(sojourn)
+        self.wait.add(job.started_at - spec.arrival)
+        ideal = spec.ideal_duration()
+        self.slowdown.add(sojourn / ideal if ideal > 0 else math.inf)
+        self.completed += 1
+        self.total_work += spec.total_work
+        self.node_seconds += job.node_seconds
+
+    def observe_rejection(self, now: float, spec: Any) -> None:
+        """Count one job turned away by admission control."""
+        self.rejected += 1
+
+    def observe_utilization(self, now: float, granted: int, capacity: int) -> None:
+        """Integrate the *previous* grant level over [last_t, now].
+
+        Call after every allocation decision with the new totals: the old
+        totals held exactly until ``now``.
+        """
+        dt = now - self._last_t
+        if dt > 0 and self._capacity > 0:
+            busy = self._granted * dt
+            cap = self._capacity * dt
+            self._busy_integral += busy
+            self._cap_integral += cap
+            self._series.append([now, busy, cap])
+            if len(self._series) >= 2 * UTILIZATION_POINTS:
+                self._coalesce()
+        self._last_t = now
+        self._granted = granted
+        self._capacity = capacity
+
+    def _coalesce(self) -> None:
+        """Halve the series by summing adjacent bucket pairs."""
+        merged = []
+        series = self._series
+        for i in range(0, len(series) - 1, 2):
+            a, b = series[i], series[i + 1]
+            merged.append([b[0], a[1] + b[1], a[2] + b[2]])
+        if len(series) % 2:
+            merged.append(series[-1])
+        self._series = merged
+
+    # --------------------------------------------------------------- fan-in
+    def merge(self, other: "SloAggregator") -> "SloAggregator":
+        """A new aggregator combining both sample sets (reservoir accuracy)."""
+        out = SloAggregator()
+        out.sojourn = self.sojourn.merge(other.sojourn)
+        out.wait = self.wait.merge(other.wait)
+        out.slowdown = self.slowdown.merge(other.slowdown)
+        out.sojourn_quantile = self.sojourn_quantile.merge(
+            other.sojourn_quantile
+        )
+        out.completed = self.completed + other.completed
+        out.rejected = self.rejected + other.rejected
+        out.total_work = self.total_work + other.total_work
+        out.node_seconds = self.node_seconds + other.node_seconds
+        out._busy_integral = self._busy_integral + other._busy_integral
+        out._cap_integral = self._cap_integral + other._cap_integral
+        out._last_t = max(self._last_t, other._last_t)
+        out._series = sorted(
+            [list(e) for e in self._series + other._series]
+        )
+        while len(out._series) >= 2 * UTILIZATION_POINTS:
+            out._coalesce()
+        return out
+
+    # -------------------------------------------------------------- summary
+    def summary(self, makespan: float) -> SloSummary:
+        """Freeze the aggregates into a :class:`SloSummary`."""
+        offered = self.completed + self.rejected
+        return SloSummary(
+            jobs_completed=self.completed,
+            jobs_rejected=self.rejected,
+            throughput=self.completed / makespan if makespan > 0 else 0.0,
+            sojourn_mean=self.sojourn.mean,
+            sojourn_p50=self.sojourn_quantile.quantile(50.0),
+            sojourn_p99=self.sojourn_quantile.quantile(99.0),
+            wait_mean=self.wait.mean,
+            slowdown_mean=self.slowdown.mean,
+            slowdown_max=self.slowdown.maximum,
+            rejection_rate=self.rejected / offered if offered else 0.0,
+            total_work=self.total_work,
+            node_seconds=self.node_seconds,
+            utilization_mean=(
+                self._busy_integral / self._cap_integral
+                if self._cap_integral > 0
+                else 0.0
+            ),
+            utilization_series=tuple(
+                (t, busy / cap if cap > 0 else 0.0)
+                for t, busy, cap in self._series
+            ),
+        )

@@ -11,14 +11,23 @@ Three policies bracket the design space the paper motivates:
   whose *current phase* no longer uses nodes efficiently (as the LU tail
   iterations don't) are shrunk, releasing nodes for queued or efficient
   jobs — the policy the paper's simulator exists to enable.
+
+Two *wrapper* policies target the open-system regime (arrival streams
+served indefinitely, see ``docs/workloads.md``), composing around any of
+the above:
+
+* :class:`AdmissionControlScheduler` — reject or defer new jobs when the
+  queue or load crosses a limit, bounding sojourn times under overload,
+* :class:`AutoscalingScheduler` — grow/shrink the usable node pool
+  against utilization targets, modeling an elastic cluster.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.clusterserver.workload import MalleableJob
+from repro.clusterserver.workload import JobSpec, MalleableJob
 from repro.errors import ConfigurationError
 
 
@@ -44,6 +53,12 @@ class Scheduler(ABC):
     #: by ``ShardedServer``.
     progress_insensitive = True
 
+    #: Open-system engines only: when :meth:`admit` refuses a job, should
+    #: it be *deferred* (retried at the next membership change) instead of
+    #: rejected outright?  Plain policies admit everything, so the flag is
+    #: only meaningful on admission-control wrappers.
+    defer_rejected = False
+
     @abstractmethod
     def allocate(
         self, running: Sequence[MalleableJob], total_nodes: int
@@ -52,6 +67,22 @@ class Scheduler(ABC):
 
         The sum over jobs must not exceed ``total_nodes``.
         """
+
+    def admit(
+        self, spec: JobSpec, running: Sequence[MalleableJob], total_nodes: int
+    ) -> bool:
+        """Open-system admission hook: accept ``spec`` into the system?
+
+        Called by the open-system engines for every arrival *before* the
+        job joins the running set.  The default admits everything (the
+        closed-system behaviour).  Must be progress-insensitive under the
+        same contract as :meth:`allocate`.
+        """
+        return True
+
+    def capacity(self, total_nodes: int) -> int:
+        """Nodes currently usable (autoscalers shrink this below total)."""
+        return total_nodes
 
 
 def _clamp(job: MalleableJob, nodes: int) -> int:
@@ -229,4 +260,169 @@ class AdaptiveEfficiencyScheduler(Scheduler):
             take = min(grow, free)
             allocation[job] += take
             free -= take
+        return allocation
+
+
+class AdmissionControlScheduler(Scheduler):
+    """Reject or defer arrivals past a queue-length or load threshold.
+
+    Wraps any inner policy: :meth:`allocate` delegates untouched, while
+    :meth:`admit` refuses a new job when any configured limit is hit —
+
+    * ``max_active`` — total jobs in the system (running + queued),
+    * ``max_queued`` — jobs admitted but still holding zero nodes,
+    * ``load_max`` — granted nodes as a fraction of the cluster
+      (e.g. ``0.9`` refuses arrivals while >= 90% of nodes are busy).
+
+    ``defer=True`` parks refused jobs for retry at the next membership
+    change instead of rejecting them outright (rejects count toward the
+    run's rejection rate, deferrals toward its waiting time).  Only the
+    open-system engines consult :meth:`admit`; under a closed workload
+    list the wrapper is inert.
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        max_active: Optional[int] = None,
+        max_queued: Optional[int] = None,
+        load_max: Optional[float] = None,
+        defer: bool = False,
+    ) -> None:
+        if max_active is None and max_queued is None and load_max is None:
+            raise ConfigurationError(
+                "admission control needs at least one limit: max_active, "
+                "max_queued or load_max"
+            )
+        if max_active is not None and max_active < 1:
+            raise ConfigurationError("max_active must be >= 1")
+        if max_queued is not None and max_queued < 0:
+            raise ConfigurationError("max_queued must be >= 0")
+        if load_max is not None and not 0.0 < load_max <= 1.0:
+            raise ConfigurationError("load_max must be in (0, 1]")
+        self.inner = inner
+        self.max_active = max_active
+        self.max_queued = max_queued
+        self.load_max = load_max
+        self.defer_rejected = defer
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"admission+{self.inner.name}"
+
+    @property
+    def progress_insensitive(self) -> bool:  # type: ignore[override]
+        # admit() reads only membership state (counts and grants), so the
+        # wrapper is exactly as shardable as its inner policy.
+        return self.inner.progress_insensitive
+
+    def admit(
+        self, spec: JobSpec, running: Sequence[MalleableJob], total_nodes: int
+    ) -> bool:
+        if self.max_active is not None and len(running) >= self.max_active:
+            return False
+        if self.max_queued is not None:
+            queued = sum(1 for j in running if j.nodes == 0)
+            if queued >= self.max_queued:
+                return False
+        if self.load_max is not None:
+            granted = sum(j.nodes for j in running)
+            if granted >= self.load_max * total_nodes:
+                return False
+        return True
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        return self.inner.allocate(running, total_nodes)
+
+    def capacity(self, total_nodes: int) -> int:
+        return self.inner.capacity(total_nodes)
+
+
+class AutoscalingScheduler(Scheduler):
+    """Grow/shrink the usable node pool against utilization targets.
+
+    Models an elastic cluster: the inner policy allocates against a
+    *pool* of ``[min_nodes, total_nodes]`` nodes rather than the full
+    cluster.  At every membership change (arrival or completion) the
+    pool resizes by ``step`` nodes: utilization at or above
+    ``utilization_high`` grows it, at or below ``utilization_low``
+    shrinks it (never below the current grant).  ``step=0`` defaults to
+    one eighth of the cluster.
+
+    Resizing keyed to membership *changes* keeps :meth:`allocate`
+    idempotent for unchanged inputs — the property the sharded engine's
+    barrier elision relies on — so the wrapper is exactly as shardable
+    as its inner policy.
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        min_nodes: int = 1,
+        utilization_low: float = 0.5,
+        utilization_high: float = 0.9,
+        step: int = 0,
+    ) -> None:
+        if min_nodes < 1:
+            raise ConfigurationError("min_nodes must be >= 1")
+        if not 0.0 <= utilization_low < utilization_high <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= utilization_low < utilization_high <= 1"
+            )
+        if step < 0:
+            raise ConfigurationError("step must be >= 0")
+        self.inner = inner
+        self.min_nodes = min_nodes
+        self.utilization_low = utilization_low
+        self.utilization_high = utilization_high
+        self.step = step
+        self._pool: Optional[int] = None
+        self._last_granted = 0
+        self._signature: Optional[tuple[str, ...]] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"autoscale+{self.inner.name}"
+
+    @property
+    def progress_insensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.progress_insensitive
+
+    def capacity(self, total_nodes: int) -> int:
+        if self._pool is None:
+            return min(self.min_nodes, total_nodes)
+        return self._pool
+
+    def allocate(
+        self, running: Sequence[MalleableJob], total_nodes: int
+    ) -> dict[MalleableJob, int]:
+        if self._pool is None:
+            self._pool = min(self.min_nodes, total_nodes)
+        step = self.step or max(1, total_nodes // 8)
+        floor = min(self.min_nodes, total_nodes)
+        signature = tuple(j.spec.name for j in running)
+        if signature != self._signature:
+            # Membership changed: one resize decision per change.
+            self._signature = signature
+            util = self._last_granted / self._pool if self._pool else 0.0
+            if util >= self.utilization_high:
+                self._pool = min(total_nodes, self._pool + step)
+            elif util <= self.utilization_low:
+                self._pool = max(
+                    floor, self._last_granted, self._pool - step
+                )
+        allocation = self.inner.allocate(running, self._pool)
+        granted = sum(allocation.values())
+        # Cold-start escape: a small pool can leave rigid policies unable
+        # to grant anything (e.g. static wanting 8 of a 2-node pool).
+        # Growing until the first grant (or the full cluster) is
+        # deterministic and idempotent, so it cannot starve the run.
+        active = any(not j.done for j in running)
+        while active and granted == 0 and self._pool < total_nodes:
+            self._pool = min(total_nodes, self._pool + step)
+            allocation = self.inner.allocate(running, self._pool)
+            granted = sum(allocation.values())
+        self._last_granted = granted
         return allocation

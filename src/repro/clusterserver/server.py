@@ -6,14 +6,26 @@ progress as fluid work at ``nodes x efficiency(nodes)``.  Reallocation at
 *phase* boundaries matters: an LU-like job's efficiency collapses in its
 tail phases, so an adaptive policy shrinks it mid-run — the cluster-level
 generalization of the paper's "kill 4 after iteration 1" experiment.
+
+Two workload shapes, one entry point: :meth:`ClusterServer.run` takes
+either a **closed** workload (a materialized ``Sequence[JobSpec]``, the
+paper's §9 shape — per-job result dicts, state O(total jobs)) or an
+**open** one (any other iterable of ``(arrival_time, JobSpec)`` pairs,
+see :mod:`repro.clusterserver.arrivals`).  Open runs pull arrivals on
+demand, consult the policy's admission hook, and retire completed jobs
+into a streaming :class:`~repro.clusterserver.metrics.SloAggregator`, so
+memory stays O(active jobs) no matter how long the stream is.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
+from repro.clusterserver.metrics import SloAggregator, SloSummary
 from repro.clusterserver.scheduler import Scheduler
 from repro.clusterserver.workload import JobSpec, MalleableJob
 from repro.des.kernel import Kernel
@@ -38,38 +50,58 @@ class ServerResult:
     #: kernels for a sharded run — the cost metric the sharding property
     #: tests conserve)
     events: int = 0
+    #: streaming SLO aggregates of an open-system run (None for closed
+    #: runs, whose per-job dicts carry the full information)
+    slo: Optional[SloSummary] = None
+    #: jobs that ran to completion (== len(job_turnaround) when closed)
+    jobs_completed: int = 0
+    #: jobs turned away by admission control (open-system runs only)
+    jobs_rejected: int = 0
+
+    def _consumed_node_seconds(self) -> float:
+        if self.job_node_seconds:
+            return sum(self.job_node_seconds.values())
+        return self.slo.node_seconds if self.slo is not None else 0.0
 
     @property
     def mean_turnaround(self) -> float:
-        if not self.job_turnaround:
-            return float("nan")
-        return sum(self.job_turnaround.values()) / len(self.job_turnaround)
+        if self.job_turnaround:
+            return sum(self.job_turnaround.values()) / len(self.job_turnaround)
+        if self.slo is not None:
+            return self.slo.sojourn_mean
+        return float("nan")
 
     @property
     def mean_wait(self) -> float:
         """Average queueing delay before the first allocation."""
-        if not self.job_wait:
-            return float("nan")
-        return sum(self.job_wait.values()) / len(self.job_wait)
+        if self.job_wait:
+            return sum(self.job_wait.values()) / len(self.job_wait)
+        if self.slo is not None:
+            return self.slo.wait_mean
+        return float("nan")
 
     @property
     def mean_slowdown(self) -> float:
         """Average turnaround stretch relative to a dedicated cluster."""
-        if not self.job_slowdown:
-            return float("nan")
-        return sum(self.job_slowdown.values()) / len(self.job_slowdown)
+        if self.job_slowdown:
+            return sum(self.job_slowdown.values()) / len(self.job_slowdown)
+        if self.slo is not None:
+            return self.slo.slowdown_mean
+        return float("nan")
 
     @property
     def max_slowdown(self) -> float:
         """Worst-case stretch — head-of-line blocking shows up here."""
-        if not self.job_slowdown:
-            return float("nan")
-        return max(self.job_slowdown.values())
+        if self.job_slowdown:
+            return max(self.job_slowdown.values())
+        if self.slo is not None:
+            return self.slo.slowdown_max
+        return float("nan")
 
     @property
     def cluster_efficiency(self) -> float:
         """Useful work over consumed node-seconds (the paper's concern)."""
-        consumed = sum(self.job_node_seconds.values())
+        consumed = self._consumed_node_seconds()
         return self.total_work / consumed if consumed > 0 else 0.0
 
     @property
@@ -78,7 +110,7 @@ class ServerResult:
         capacity = self.total_nodes * self.makespan
         if capacity <= 0:
             return 0.0
-        return sum(self.job_node_seconds.values()) / capacity
+        return self._consumed_node_seconds() / capacity
 
     @property
     def service_rate(self) -> float:
@@ -95,7 +127,8 @@ class ServerResult:
         """Jobs completed per unit time."""
         if self.makespan <= 0:
             return 0.0
-        return len(self.job_turnaround) / self.makespan
+        count = len(self.job_turnaround) or self.jobs_completed
+        return count / self.makespan
 
 
 def finalize_result(
@@ -140,6 +173,7 @@ def finalize_result(
         },
         job_slowdown=slowdown,
         events=events,
+        jobs_completed=len(jobs),
     )
 
 
@@ -152,8 +186,21 @@ class ClusterServer:
         self.total_nodes = total_nodes
         self.scheduler = scheduler
 
-    def run(self, specs: Sequence[JobSpec]) -> ServerResult:
-        """Simulate the workload to completion."""
+    def run(self, workload) -> ServerResult:
+        """Simulate a workload to completion.
+
+        A ``Sequence[JobSpec]`` runs the closed-system path (per-job
+        result dicts, bit-identical to previous releases); any other
+        iterable is treated as an open arrival stream of
+        ``(arrival_time, JobSpec)`` pairs and runs the O(active-jobs)
+        streaming path with SLO aggregates in ``result.slo``.
+        """
+        if isinstance(workload, SequenceABC):
+            return self._run_closed(workload)
+        return self._run_open(iter(workload))
+
+    def _run_closed(self, specs: Sequence[JobSpec]) -> ServerResult:
+        """The closed-system path: every job materialized up front."""
         kernel = Kernel()
         jobs = [MalleableJob(spec) for spec in specs]
         pending = sorted(jobs, key=lambda j: j.spec.arrival)
@@ -223,4 +270,128 @@ class ClusterServer:
             jobs,
             kernel.now,
             kernel.events_executed,
+        )
+
+    def _run_open(
+        self, stream: Iterator[tuple[float, JobSpec]]
+    ) -> ServerResult:
+        """The open-system path: pull arrivals lazily, retire eagerly.
+
+        Only *active* jobs (admitted, unfinished) hold
+        :class:`MalleableJob` state; completions fold into a
+        :class:`~repro.clusterserver.metrics.SloAggregator` and are
+        forgotten, so memory is O(active jobs) regardless of how many
+        jobs the stream produces.
+        """
+        kernel = Kernel()
+        agg = SloAggregator()
+        running: list[MalleableJob] = []
+        deferred: deque[JobSpec] = deque()
+        last_update = 0.0
+        last_arrival = 0.0
+        boundary: list = [None]
+
+        def advance_to_now() -> None:
+            nonlocal last_update
+            dt = kernel.now - last_update
+            if dt > 0:
+                for job in running:
+                    job.advance(dt)
+            last_update = kernel.now
+
+        def schedule_next_arrival() -> None:
+            nonlocal last_arrival
+            item = next(stream, None)
+            if item is None:
+                return
+            t, spec = item
+            if t < last_arrival:
+                raise ConfigurationError(
+                    "arrival process yielded decreasing times "
+                    f"({t} after {last_arrival}); streams must be "
+                    "nondecreasing"
+                )
+            last_arrival = t
+            kernel.schedule_at(t, on_arrival, spec)
+
+        def reschedule() -> None:
+            # Same decision structure as the closed path, with retirement
+            # into the aggregator and the policy's admission hooks.
+            if boundary[0] is not None:
+                kernel.cancel(boundary[0])
+                boundary[0] = None
+            finished = [j for j in running if j.done]
+            for job in finished:
+                job.finished_at = kernel.now
+                job.nodes = 0
+                running.remove(job)
+                agg.observe_completion(job)
+            # Deferred arrivals retry in FIFO order; membership state may
+            # have changed since they were parked.
+            while deferred and self.scheduler.admit(
+                deferred[0], running, self.total_nodes
+            ):
+                running.append(MalleableJob(deferred.popleft()))
+            allocation = self.scheduler.allocate(running, self.total_nodes)
+            granted = sum(allocation.values())
+            # Read the capacity after allocate(): autoscalers resize
+            # their pool inside the allocation call.
+            capacity = self.scheduler.capacity(self.total_nodes)
+            if granted > capacity:
+                raise ConfigurationError(
+                    f"{self.scheduler.name} over-allocated: {granted} > "
+                    f"{capacity}"
+                )
+            for job in running:
+                job.nodes = allocation.get(job, 0)
+                if job.nodes > 0 and math.isnan(job.started_at):
+                    job.started_at = kernel.now
+            agg.observe_utilization(kernel.now, granted, capacity)
+            horizon = min(
+                (j.time_to_phase_end() for j in running), default=math.inf
+            )
+            if math.isfinite(horizon):
+                boundary[0] = kernel.schedule(
+                    max(horizon, 1e-12), on_phase_boundary
+                )
+
+        def on_phase_boundary() -> None:
+            boundary[0] = None
+            advance_to_now()
+            reschedule()
+
+        def on_arrival(spec: JobSpec) -> None:
+            advance_to_now()
+            # One-ahead pull: exactly one future arrival is ever buffered.
+            schedule_next_arrival()
+            if self.scheduler.admit(spec, running, self.total_nodes):
+                running.append(MalleableJob(spec))
+            elif self.scheduler.defer_rejected:
+                deferred.append(spec)
+            else:
+                agg.observe_rejection(kernel.now, spec)
+            reschedule()
+
+        schedule_next_arrival()
+        kernel.run()
+        advance_to_now()
+        if running or deferred:
+            starved = len(running) + len(deferred)
+            raise ConfigurationError(
+                f"{self.scheduler.name}: {starved} jobs never "
+                "completed (policy starved them); check min_nodes and "
+                "cluster size"
+            )
+        summary = agg.summary(kernel.now)
+        return ServerResult(
+            scheduler=self.scheduler.name,
+            total_nodes=self.total_nodes,
+            makespan=kernel.now,
+            job_turnaround={},
+            job_node_seconds={},
+            total_work=summary.total_work,
+            events=kernel.events_executed,
+            slo=summary,
+            jobs_completed=summary.jobs_completed,
+            jobs_rejected=summary.jobs_rejected,
         )

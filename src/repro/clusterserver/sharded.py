@@ -48,9 +48,12 @@ import math
 import multiprocessing
 import os
 import time
+from collections import deque
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Collection, Optional, Sequence
+from typing import Collection, Iterator, Optional, Sequence
 
+from repro.clusterserver.metrics import SloAggregator
 from repro.clusterserver.scheduler import Scheduler
 from repro.clusterserver.server import ServerResult, finalize_result
 from repro.clusterserver.workload import JobSpec, MalleableJob
@@ -155,14 +158,19 @@ class JobShard:
         self.pool = FluidPool(
             self.kernel, _ExternalRateAllocator(), name=f"shard-{shard_id}"
         )
+        #: active jobs only — completed jobs are pruned immediately, so
+        #: the dict is O(active) even for million-job open streams
         self.jobs: dict[int, _ShardJob] = {}
+        #: every job this shard ever hosted (stats; O(1) state)
+        self.jobs_seen = 0
         self._arrived: list[int] = []
         self._completed: list[tuple[int, bool]] = []
 
     # ------------------------------------------------------------------ setup
     def schedule_arrival(self, index: int, spec: JobSpec) -> None:
-        """Register a job and arm its arrival event."""
+        """Register a job and arm its arrival event (closed workloads)."""
         self.jobs[index] = _ShardJob(index, spec)
+        self.jobs_seen += 1
         self.kernel.schedule_at(spec.arrival, self._on_arrival, index)
 
     # ----------------------------------------------------------------- events
@@ -181,6 +189,10 @@ class JobShard:
         else:
             job.task = None
             self._completed.append((job.index, True))
+            # Retire immediately: the controller never addresses a
+            # completed job again, so dropping it here bounds shard
+            # memory to active jobs.
+            del self.jobs[job.index]
 
     # ---------------------------------------------------------------- epoch api
     def next_event_time(self) -> Optional[float]:
@@ -199,6 +211,21 @@ class JobShard:
         job = self.jobs[index]
         job.task = FluidTask(
             job.spec.phase_work[0], self._on_phase_complete, tag=job
+        )
+        self.pool.add(job.task)
+
+    def admit_spec(self, index: int, spec: JobSpec) -> None:
+        """Register and admit a streamed job at the barrier clock.
+
+        Open-system path: the controller pulled ``spec`` from the arrival
+        stream, so the shard never saw an arrival event — the job starts
+        existing here, at ``kernel.now`` (== the barrier bound), exactly
+        when the eager engine would admit it.
+        """
+        self.jobs[index] = job = _ShardJob(index, spec)
+        self.jobs_seen += 1
+        job.task = FluidTask(
+            spec.phase_work[0], self._on_phase_complete, tag=job
         )
         self.pool.add(job.task)
 
@@ -242,17 +269,22 @@ class _LocalShardHandle(ShardHandle):
         return report
 
     def begin_apply(
-        self, admissions: Sequence[int], updates: Sequence[tuple[int, int]]
+        self,
+        admissions: Sequence[int],
+        updates: Sequence[tuple[int, int]],
+        new_specs: Sequence[tuple[int, JobSpec]] = (),
     ) -> None:
         for index in admissions:
             self.shard.admit(index)
+        for index, spec in new_specs:
+            self.shard.admit_spec(index, spec)
         self.shard.apply_allocation(updates)
 
     def finish_apply(self) -> None:
         return None
 
     def shutdown(self) -> tuple[int, int]:
-        return (self.shard.kernel.events_executed, len(self.shard.jobs))
+        return (self.shard.kernel.events_executed, self.shard.jobs_seen)
 
 
 def _shard_worker(conn, shard_id: int, assignments) -> None:
@@ -271,11 +303,13 @@ def _shard_worker(conn, shard_id: int, assignments) -> None:
             elif cmd == "apply":
                 for index in msg[1]:
                     shard.admit(index)
+                for index, spec in msg[3]:
+                    shard.admit_spec(index, spec)
                 shard.apply_allocation(msg[2])
                 conn.send(("ok", shard.next_event_time()))
             elif cmd == "finish":
                 conn.send(
-                    ("ok", (shard.kernel.events_executed, len(shard.jobs)))
+                    ("ok", (shard.kernel.events_executed, shard.jobs_seen))
                 )
                 return
             else:  # pragma: no cover - protocol guard
@@ -326,9 +360,14 @@ class _ProcessShardHandle(ShardHandle):
         return (arrived, completed)
 
     def begin_apply(
-        self, admissions: Sequence[int], updates: Sequence[tuple[int, int]]
+        self,
+        admissions: Sequence[int],
+        updates: Sequence[tuple[int, int]],
+        new_specs: Sequence[tuple[int, JobSpec]] = (),
     ) -> None:
-        self._conn.send(("apply", list(admissions), list(updates)))
+        self._conn.send(
+            ("apply", list(admissions), list(updates), list(new_specs))
+        )
 
     def finish_apply(self) -> None:
         self._next = self._recv()
@@ -395,8 +434,15 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             return "process"
         return "inprocess"
 
-    def run(self, specs: Sequence[JobSpec]) -> ServerResult:
-        """Simulate the workload to completion (deterministic in K/mode)."""
+    def run(self, workload) -> ServerResult:
+        """Simulate a workload to completion (deterministic in K/mode).
+
+        A ``Sequence[JobSpec]`` runs the closed-system path; any other
+        iterable is an open arrival stream of ``(arrival_time, JobSpec)``
+        pairs (:mod:`repro.clusterserver.arrivals`), pulled lazily by the
+        epoch controller with memory bounded by active jobs.  Both paths
+        honour the bit-identical-for-every-K contract.
+        """
         if not getattr(self.scheduler, "progress_insensitive", False):
             raise ConfigurationError(
                 f"{self.scheduler.name}: sharded simulation requires a "
@@ -404,6 +450,12 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
                 "job progress — phase index or remaining work); run it on "
                 "ClusterServer instead"
             )
+        if isinstance(workload, SequenceABC):
+            return self._run_closed(workload)
+        return self._run_open(iter(workload))
+
+    def _run_closed(self, specs: Sequence[JobSpec]) -> ServerResult:
+        """The closed-system path: jobs pre-partitioned across shards."""
         t_start = time.perf_counter()
         mode = self._resolve_mode()
         K = self.shards
@@ -537,6 +589,209 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             mirrors,
             last_bound,
             stats.events_total,
+        )
+        stats.wall_s = time.perf_counter() - t_start
+        self.stats = stats
+        return result
+
+    def _run_open(
+        self, stream: Iterator[tuple[float, JobSpec]]
+    ) -> ServerResult:
+        """The open-system path: stream-fed shards, O(active-jobs) state.
+
+        The controller owns the stream: it buffers exactly one pending
+        arrival, feeds its time into the epoch bound (the controller-side
+        *lookahead*, so no epoch overshoots an arrival no shard knows
+        about), and at each barrier admits due jobs to their owner shards
+        via :meth:`JobShard.admit_spec`.  Completed jobs fold into a
+        :class:`~repro.clusterserver.metrics.SloAggregator` in index
+        order and are dropped everywhere — controller mirrors and shard
+        state are both bounded by the active-job count.  All decisions
+        replay in pull order, so the result (including the
+        :class:`~repro.clusterserver.metrics.SloSummary`) is bit-identical
+        for every shard count and mode.
+        """
+        t_start = time.perf_counter()
+        mode = self._resolve_mode()
+        K = self.shards
+        agg = SloAggregator()
+        stats = ShardStats(shards=K, mode=mode)
+        handles: list[ShardHandle] = []
+        try:
+            if mode == "process":
+                ctx = multiprocessing.get_context()
+                for sid in range(K):
+                    handles.append(_ProcessShardHandle(ctx, sid, []))
+            else:
+                for sid in range(K):
+                    handles.append(_LocalShardHandle(JobShard(sid)))
+
+            # Controller-side decision state — active jobs only.
+            running: dict[int, MalleableJob] = {}
+            owner: dict[int, int] = {}
+            last_change: dict[int, float] = {}
+            deferred: deque[tuple[int, JobSpec]] = deque()
+            pending: list = [next(stream, None)]
+            state = {"next_index": 0, "last_bound": 0.0}
+
+            def lookahead() -> Optional[float]:
+                item = pending[0]
+                return item[0] if item is not None else None
+
+            def close_chunk(idx: int, now: float) -> None:
+                mirror = running[idx]
+                mirror.node_seconds += mirror.nodes * (now - last_change[idx])
+                last_change[idx] = now
+
+            def admit_job(
+                idx: int, spec: JobSpec, now: float, new_specs: dict
+            ) -> None:
+                running[idx] = MalleableJob(spec)
+                owner[idx] = idx % K
+                last_change[idx] = now
+                new_specs.setdefault(idx % K, []).append((idx, spec))
+
+            def pull_arrivals(now: float, new_specs: dict) -> bool:
+                """Admit/defer/reject every arrival due at or before now."""
+                admitted = False
+                while pending[0] is not None and pending[0][0] <= now:
+                    t, spec = pending[0]
+                    nxt = next(stream, None)
+                    if nxt is not None and nxt[0] < t:
+                        raise ConfigurationError(
+                            "arrival process yielded decreasing times "
+                            f"({nxt[0]} after {t}); streams must be "
+                            "nondecreasing"
+                        )
+                    pending[0] = nxt
+                    idx = state["next_index"]
+                    state["next_index"] += 1
+                    if self.scheduler.admit(
+                        spec, list(running.values()), self.total_nodes
+                    ):
+                        admit_job(idx, spec, now, new_specs)
+                        admitted = True
+                    elif self.scheduler.defer_rejected:
+                        deferred.append((idx, spec))
+                    else:
+                        agg.observe_rejection(now, spec)
+                return admitted
+
+            def drain_deferred(now: float, new_specs: dict) -> None:
+                while deferred and self.scheduler.admit(
+                    deferred[0][1], list(running.values()), self.total_nodes
+                ):
+                    idx, spec = deferred.popleft()
+                    admit_job(idx, spec, now, new_specs)
+
+            def on_barrier(now: float, reports: list) -> bool:
+                state["last_bound"] = now
+                job_done = False
+                retired: list[tuple[int, MalleableJob]] = []
+                for report in reports:
+                    _arrived, completed = report
+                    for idx, done in completed:
+                        mirror = running[idx]
+                        if done:
+                            job_done = True
+                            close_chunk(idx, now)
+                            mirror.phase = len(mirror.spec.phase_work)
+                            mirror.remaining_in_phase = 0.0
+                            mirror.finished_at = now
+                            mirror.nodes = 0
+                            retired.append((idx, mirror))
+                        else:
+                            mirror.phase += 1
+                            mirror.remaining_in_phase = (
+                                mirror.spec.phase_work[mirror.phase]
+                            )
+                # Fold retirements in index order: the aggregator's call
+                # sequence — hence the SloSummary — is K-independent.
+                for idx, mirror in sorted(retired):
+                    del running[idx]
+                    del owner[idx]
+                    del last_change[idx]
+                    agg.observe_completion(mirror)
+                new_specs: dict[int, list[tuple[int, JobSpec]]] = {}
+                admitted = pull_arrivals(now, new_specs)
+                if admitted or job_done:
+                    # Membership changed: deferred jobs get their retry,
+                    # then the global policy replays.
+                    drain_deferred(now, new_specs)
+                    stats.allocations += 1
+                    allocation = self.scheduler.allocate(
+                        list(running.values()), self.total_nodes
+                    )
+                    granted = sum(allocation.values())
+                    capacity = self.scheduler.capacity(self.total_nodes)
+                    if granted > capacity:
+                        raise ConfigurationError(
+                            f"{self.scheduler.name} over-allocated: "
+                            f"{granted} > {capacity}"
+                        )
+                    updates: dict[int, list[tuple[int, int]]] = {}
+                    for idx, mirror in running.items():
+                        nodes = allocation.get(mirror, 0)
+                        if nodes != mirror.nodes:
+                            close_chunk(idx, now)
+                            mirror.nodes = nodes
+                            if nodes > 0 and math.isnan(mirror.started_at):
+                                mirror.started_at = now
+                            updates.setdefault(owner[idx], []).append(
+                                (idx, nodes)
+                            )
+                    agg.observe_utilization(now, granted, capacity)
+                else:
+                    # Pure phase boundaries (or rejected arrivals): no
+                    # scheduler-visible change, by progress-insensitivity.
+                    stats.allocations_elided += 1
+                    updates = {}
+                touched = sorted(set(new_specs) | set(updates))
+                for sid in touched:
+                    handles[sid].begin_apply(
+                        (), updates.get(sid, ()), new_specs.get(sid, ())
+                    )
+                for sid in touched:
+                    handles[sid].finish_apply()
+                return True
+
+            controller = EpochController(handles)
+            controller.run(on_barrier, lookahead=lookahead)
+            stats.epochs = controller.stats.epochs
+            stats.barrier_wait_s = controller.stats.barrier_wait_s
+        finally:
+            shard_events = []
+            shard_jobs = []
+            for handle in handles:
+                try:
+                    events, jobs_seen = handle.shutdown()
+                    shard_events.append(events)
+                    shard_jobs.append(jobs_seen)
+                except Exception:  # pragma: no cover - teardown best-effort
+                    shard_events.append(0)
+                    shard_jobs.append(0)
+
+        stats.shard_events = tuple(shard_events)
+        stats.shard_jobs = tuple(shard_jobs)
+        if running or deferred:
+            starved = len(running) + len(deferred)
+            raise ConfigurationError(
+                f"{self.scheduler.name}: {starved} jobs never "
+                "completed (policy starved them); check min_nodes and "
+                "cluster size"
+            )
+        summary = agg.summary(state["last_bound"])
+        result = ServerResult(
+            scheduler=self.scheduler.name,
+            total_nodes=self.total_nodes,
+            makespan=state["last_bound"],
+            job_turnaround={},
+            job_node_seconds={},
+            total_work=summary.total_work,
+            events=stats.events_total,
+            slo=summary,
+            jobs_completed=summary.jobs_completed,
+            jobs_rejected=summary.jobs_rejected,
         )
         stats.wall_s = time.perf_counter() - t_start
         self.stats = stats

@@ -98,13 +98,30 @@ class EpochController:
         self.shards = list(shards)
         self.stats = EpochStats()
 
-    def run(self, on_barrier: Callable[[float, list[Any]], bool]) -> None:
-        """Run epochs until every shard drains or the callback stops."""
+    def run(
+        self,
+        on_barrier: Callable[[float, list[Any]], bool],
+        lookahead: Optional[Callable[[], Optional[float]]] = None,
+    ) -> None:
+        """Run epochs until every shard drains or the callback stops.
+
+        ``lookahead``, when given, supplies an additional controller-side
+        bound each epoch — e.g. the next pending arrival of an open
+        workload stream (:mod:`repro.clusterserver.arrivals`), which no
+        shard kernel knows about.  It is folded into the epoch bound like
+        another shard: the epoch never advances past it, so the barrier
+        callback observes the event exactly on time.  Returning ``None``
+        means no pending controller event.
+        """
         shards = self.shards
         while True:
             bound: Optional[float] = None
             for shard in shards:
                 t = shard.next_event_time()
+                if t is not None and (bound is None or t < bound):
+                    bound = t
+            if lookahead is not None:
+                t = lookahead()
                 if t is not None and (bound is None or t < bound):
                     bound = t
             if bound is None:

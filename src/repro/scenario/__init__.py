@@ -18,7 +18,12 @@ The subsystem the CLI, sweeps, benches and CI jobs all build on (see
   efficiency, allocator/horizon/shard statistics).
 """
 
-from repro.scenario.registry import AppPlugin, Registry, default_registry
+from repro.scenario.registry import (
+    AppPlugin,
+    Registry,
+    WorkloadPlugin,
+    default_registry,
+)
 from repro.scenario.runner import (
     PhaseRecord,
     RunRecord,
@@ -48,6 +53,7 @@ __all__ = [
     "Registry",
     "RunRecord",
     "ScenarioSpec",
+    "WorkloadPlugin",
     "calibration_key",
     "default_registry",
     "load_spec",

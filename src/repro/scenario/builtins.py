@@ -11,9 +11,11 @@ may use to the concrete classes of the repository:
 * **providers** — ``costmodel`` (PDEXEC), ``direct``,
   ``measure_first_n`` (plus the ``auto`` mode-derived default);
 * **engines** — ``sim``, ``testbed``, ``server``;
-* **workloads** — ``lu``, ``mixed`` cluster-server job streams;
+* **workloads** — ``lu``, ``mixed`` closed job lists plus the open-system
+  ``poisson``, ``bursty``, ``diurnal``, ``trace`` arrival streams;
 * **policies** — ``static``, ``fcfs``, ``backfill``, ``equipartition``,
-  ``adaptive`` schedulers.
+  ``adaptive`` schedulers plus the ``admission`` and ``autoscale``
+  wrappers.
 
 Extension guide: register your own under a new name (see
 ``docs/scenarios.md``); the spec format never needs to change.
@@ -24,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
-from repro.scenario.registry import AppPlugin, Registry
+from repro.scenario.registry import AppPlugin, Registry, WorkloadPlugin
 
 
 def _strict(name: str, cls: Callable[..., Any]) -> Callable[..., Any]:
@@ -250,34 +252,208 @@ def _install_engines(registry: Registry) -> None:
 
 
 def _install_workloads(registry: Registry) -> None:
+    from repro.clusterserver.arrivals import (
+        bursty_arrivals,
+        closed_stream,
+        diurnal_arrivals,
+        poisson_arrivals,
+        trace_arrivals,
+    )
     from repro.clusterserver.workload import mixed_workload, synthetic_workload
 
-    registry.register("workload", "lu", synthetic_workload)
-    registry.register("workload", "mixed", mixed_workload)
+    def _stream_call(name: str, fn: Callable[..., Any], kwargs: dict) -> Any:
+        try:
+            return fn(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid cluster.arrivals options for {name!r}: {exc}"
+            ) from None
+
+    def _synthetic_stream(name: str, fn: Callable[..., Any]):
+        """Adapt a shape-sampling generator to the stream contract."""
+
+        def stream(cluster: Any, seed: int, shape: str, params: dict) -> Any:
+            kwargs = dict(params)
+            kwargs.setdefault("shape", shape)
+            kwargs.setdefault("seed", seed)
+            kwargs.setdefault("max_nodes", cluster.job_max_nodes)
+            if "jobs" not in kwargs and "horizon" not in kwargs:
+                kwargs["jobs"] = cluster.jobs
+            return _stream_call(name, fn, kwargs)
+
+        return stream
+
+    def _closed_as_stream(name: str, fn: Callable[..., Any]):
+        """A closed generator replayed through the stream interface."""
+
+        def stream(cluster: Any, seed: int, shape: str, params: dict) -> Any:
+            kwargs = dict(params)
+            kwargs.setdefault("seed", seed)
+            kwargs.setdefault("max_nodes", cluster.job_max_nodes)
+            kwargs.setdefault("jobs", cluster.jobs)
+            return closed_stream(_stream_call(name, fn, kwargs))
+
+        return stream
+
+    def _trace_stream(cluster: Any, seed: int, shape: str, params: dict) -> Any:
+        return _stream_call("trace", trace_arrivals, dict(params))
+
+    registry.register(
+        "workload",
+        "lu",
+        WorkloadPlugin(
+            name="lu",
+            closed=synthetic_workload,
+            stream=_closed_as_stream("lu", synthetic_workload),
+            description="LU-like malleable jobs, Poisson spacing (closed)",
+        ),
+        description="LU-like malleable jobs, Poisson spacing (closed)",
+    )
+    registry.register(
+        "workload",
+        "mixed",
+        WorkloadPlugin(
+            name="mixed",
+            closed=mixed_workload,
+            stream=_closed_as_stream("mixed", mixed_workload),
+            description="mixed LU/stencil/ramp-up job families (closed)",
+        ),
+        description="mixed LU/stencil/ramp-up job families (closed)",
+    )
+    registry.register(
+        "workload",
+        "poisson",
+        WorkloadPlugin(
+            name="poisson",
+            stream=_synthetic_stream("poisson", poisson_arrivals),
+            description="open stream: constant-rate memoryless arrivals",
+        ),
+        description="open stream: constant-rate memoryless arrivals",
+    )
+    registry.register(
+        "workload",
+        "bursty",
+        WorkloadPlugin(
+            name="bursty",
+            stream=_synthetic_stream("bursty", bursty_arrivals),
+            description="open stream: two-state MMPP quiet/burst phases",
+        ),
+        description="open stream: two-state MMPP quiet/burst phases",
+    )
+    registry.register(
+        "workload",
+        "diurnal",
+        WorkloadPlugin(
+            name="diurnal",
+            stream=_synthetic_stream("diurnal", diurnal_arrivals),
+            description="open stream: sinusoidal daily-cycle arrival rate",
+        ),
+        description="open stream: sinusoidal daily-cycle arrival rate",
+    )
+    registry.register(
+        "workload",
+        "trace",
+        WorkloadPlugin(
+            name="trace",
+            stream=_trace_stream,
+            description="open stream: JSON-lines trace replay (path = ...)",
+        ),
+        description="open stream: JSON-lines trace replay (path = ...)",
+    )
 
 
 def _install_policies(registry: Registry) -> None:
+    import dataclasses
+
     from repro.clusterserver.scheduler import (
         AdaptiveEfficiencyScheduler,
+        AdmissionControlScheduler,
+        AutoscalingScheduler,
         EquipartitionScheduler,
         FcfsScheduler,
         StaticScheduler,
     )
 
+    def plain(make: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        """Plain policies take no policy_options — reject them loudly."""
+
+        def factory(c: Any) -> Any:
+            if c.policy_options:
+                raise ConfigurationError(
+                    f"policy {c.policy!r} takes no policy_options "
+                    f"({sorted(c.policy_options)} given); only 'admission' "
+                    "and 'autoscale' are configurable"
+                )
+            return make(c)
+
+        return factory
+
+    def wrapper(name: str, cls: Callable[..., Any]) -> Callable[[Any], Any]:
+        """Admission/autoscaling wrap an inner policy named in options."""
+
+        def factory(c: Any) -> Any:
+            options = dict(c.policy_options)
+            inner_name = str(options.pop("inner", "adaptive"))
+            inner_section = dataclasses.replace(
+                c, policy=inner_name, policy_options={}
+            )
+            inner = registry.resolve("policy", inner_name)(inner_section)
+            try:
+                return cls(inner, **options)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"invalid policy_options for {name!r}: {exc}"
+                ) from None
+
+        return factory
+
     registry.register(
-        "policy", "static", lambda c: StaticScheduler(c.nodes_per_job)
+        "policy",
+        "static",
+        plain(lambda c: StaticScheduler(c.nodes_per_job)),
+        description="fixed nodes_per_job grant, FCFS admission",
     )
-    registry.register("policy", "fcfs", lambda c: FcfsScheduler())
     registry.register(
-        "policy", "backfill", lambda c: FcfsScheduler(backfill=True)
+        "policy",
+        "fcfs",
+        plain(lambda c: FcfsScheduler()),
+        description="first-come-first-served up to each job's maximum",
     )
     registry.register(
-        "policy", "equipartition", lambda c: EquipartitionScheduler()
+        "policy",
+        "backfill",
+        plain(lambda c: FcfsScheduler(backfill=True)),
+        description="FCFS with backfilling of later runnable jobs",
+    )
+    registry.register(
+        "policy",
+        "equipartition",
+        plain(lambda c: EquipartitionScheduler()),
+        description="equal node shares across running jobs",
     )
     registry.register(
         "policy",
         "adaptive",
-        lambda c: AdaptiveEfficiencyScheduler(c.efficiency_floor),
+        plain(lambda c: AdaptiveEfficiencyScheduler(c.efficiency_floor)),
+        description="efficiency-aware shares (paper's dynamic policy)",
+    )
+    registry.register(
+        "policy",
+        "admission",
+        wrapper("admission", AdmissionControlScheduler),
+        description=(
+            "admission control around an inner policy "
+            "(max_active/max_queued/load_max, defer)"
+        ),
+    )
+    registry.register(
+        "policy",
+        "autoscale",
+        wrapper("autoscale", AutoscalingScheduler),
+        description=(
+            "utilization-driven node-pool autoscaling around an inner "
+            "policy"
+        ),
     )
 
 

@@ -45,16 +45,26 @@ class Registry:
     def __init__(self, name: str = "registry") -> None:
         self.name = name
         self._tables: dict[str, dict[str, Any]] = {kind: {} for kind in KINDS}
+        self._descriptions: dict[str, dict[str, str]] = {
+            kind: {} for kind in KINDS
+        }
 
     # ------------------------------------------------------------ mutation
     def register(
-        self, kind: str, name: str, plugin: Any, replace: bool = False
+        self,
+        kind: str,
+        name: str,
+        plugin: Any,
+        replace: bool = False,
+        description: str = "",
     ) -> Any:
         """Register ``plugin`` under ``(kind, name)``.
 
         Raises on an unknown kind and on duplicate names unless
-        ``replace=True``.  Returns the plugin, so it composes as a
-        decorator: ``registry.register("engine", "mine", fn)``.
+        ``replace=True``.  ``description`` is the one-line summary
+        ``repro scenarios list`` prints next to the name.  Returns the
+        plugin, so it composes as a decorator:
+        ``registry.register("engine", "mine", fn)``.
         """
         table = self._table(kind)
         if not name:
@@ -65,6 +75,10 @@ class Registry:
                 "pass replace=True to shadow it"
             )
         table[name] = plugin
+        if description:
+            self._descriptions[kind][name] = description
+        elif replace:
+            self._descriptions[kind].pop(name, None)
         return plugin
 
     # ------------------------------------------------------------- lookup
@@ -81,6 +95,11 @@ class Registry:
     def names(self, kind: str) -> list[str]:
         """Sorted plugin names of one kind."""
         return sorted(self._table(kind))
+
+    def describe(self, kind: str, name: str) -> str:
+        """One-line description of a registered plugin ("" if none)."""
+        self.resolve(kind, name)  # raise the usual error when absent
+        return self._descriptions[kind].get(name, "")
 
     def kinds(self) -> tuple[str, ...]:
         """The registrable plugin kinds."""
@@ -153,6 +172,38 @@ class AppPlugin:
             raise ConfigurationError(
                 f"invalid options for app {self.name!r}: {exc}"
             ) from None
+
+
+# --------------------------------------------------------------------------
+# the workload plugin contract
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadPlugin:
+    """A ``server``-engine workload: closed generator, stream factory, or both.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``lu``, ``poisson``...).
+    closed:
+        ``(jobs=, mean_interarrival=, seed=, max_nodes=) -> [JobSpec]`` —
+        the materialized closed-system workload (None for stream-only
+        processes).
+    stream:
+        ``(cluster, seed, shape, params) -> ArrivalProcess`` — the lazy
+        open-system arrival stream built from a spec's
+        ``cluster.arrivals`` table (None for closed-only workloads).
+        ``shape`` is the spec's ``app.name``, the job-shape family.
+    description:
+        One-line summary for ``repro scenarios list``.
+    """
+
+    name: str
+    closed: Optional[Callable[..., Any]] = None
+    stream: Optional[Callable[..., Any]] = None
+    description: str = ""
 
 
 # --------------------------------------------------------------------------

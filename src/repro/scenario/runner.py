@@ -409,13 +409,35 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
             f"{sorted(spec.engine.options)}; valid: []"
         )
     cluster = spec.cluster
-    workload_factory = registry.resolve("workload", spec.app.name)
-    job_specs = workload_factory(
-        jobs=cluster.jobs,
-        mean_interarrival=cluster.interarrival,
-        seed=spec.engine.seed,
-        max_nodes=cluster.job_max_nodes,
-    )
+    if cluster.arrivals:
+        # Open system: a lazy arrival stream named by cluster.arrivals.
+        params = dict(cluster.arrivals)
+        process = str(params.pop("process"))
+        plugin = registry.resolve("workload", process)
+        stream = getattr(plugin, "stream", None)
+        if stream is None:
+            raise ConfigurationError(
+                f"workload {process!r} has no arrival-stream form; "
+                "closed-only workloads configure cluster.jobs/interarrival "
+                "instead of cluster.arrivals"
+            )
+        workload = stream(cluster, spec.engine.seed, spec.app.name, params)
+    else:
+        # Closed system: the legacy materialized workload (bit-compatible
+        # with every pre-arrivals launcher).
+        plugin = registry.resolve("workload", spec.app.name)
+        closed = getattr(plugin, "closed", plugin if callable(plugin) else None)
+        if closed is None:
+            raise ConfigurationError(
+                f"workload {spec.app.name!r} is an open-system arrival "
+                "process; configure it via cluster.arrivals"
+            )
+        workload = closed(
+            jobs=cluster.jobs,
+            mean_interarrival=cluster.interarrival,
+            seed=spec.engine.seed,
+            max_nodes=cluster.job_max_nodes,
+        )
     policy = registry.resolve("policy", cluster.policy)(cluster)
     stats = None
     wall_start = time.perf_counter()
@@ -426,10 +448,10 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
             shards=spec.engine.shards,
             mode=spec.engine.shard_mode,
         )
-        result = server.run(job_specs)
+        result = server.run(workload)
         stats = server.stats
     else:
-        result = ClusterServer(cluster.nodes, policy).run(job_specs)
+        result = ClusterServer(cluster.nodes, policy).run(workload)
     wall = time.perf_counter() - wall_start
 
     metrics: dict[str, float] = {
@@ -442,8 +464,12 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
         "service_rate": result.service_rate,
         "throughput": result.throughput,
         "total_nodes": result.total_nodes,
-        "jobs": len(result.job_turnaround),
+        "jobs": len(result.job_turnaround) or result.jobs_completed,
     }
+    if result.slo is not None:
+        # Open-system runs carry the streaming SLO summary: quantile
+        # sojourns, rejection rate, utilization aggregates.
+        metrics.update(result.slo.to_metrics())
     if stats is not None:
         _flatten_stats("shard_", stats, metrics)
     return RunRecord(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
@@ -203,7 +204,25 @@ class PlatformSection:
 
 @dataclass(frozen=True)
 class ClusterSection:
-    """The ``server`` engine's scenario shape (paper §9 workloads)."""
+    """The ``server`` engine's scenario shape (paper §9 workloads).
+
+    Two workload modes:
+
+    * **closed** (default): ``jobs`` specs are materialized up front by
+      the registered workload generator, with ``interarrival`` as the
+      mean job spacing — the original paper-scale form.  ``interarrival``
+      is the deprecated alias for ``arrivals = {process = "poisson",
+      mean_interarrival = ...}`` and keeps the historical closed
+      semantics for bit-compatibility.
+    * **open**: a non-empty ``arrivals`` table names a streaming arrival
+      process (``process = "poisson" | "bursty" | "diurnal" | "trace"``)
+      plus its parameters and a stop condition (``jobs`` and/or
+      ``horizon``); jobs are generated lazily and memory stays bounded
+      by the active-job count (see ``docs/workloads.md``).
+
+    ``policy_options`` are keyword arguments of the policy factory —
+    admission/autoscaling limits, and ``inner`` for wrapper policies.
+    """
 
     nodes: int = 16
     jobs: int = 16
@@ -212,14 +231,26 @@ class ClusterSection:
     nodes_per_job: int = 8
     efficiency_floor: float = 0.5
     max_nodes: int = 0  # 0: min(8, nodes), the CLI default
+    arrivals: dict[str, Any] = field(default_factory=dict)
+    policy_options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "arrivals", _freeze_options(self.arrivals))
+        object.__setattr__(
+            self, "policy_options", _freeze_options(self.policy_options)
+        )
         if self.nodes < 1:
             raise ConfigurationError("cluster.nodes must be >= 1")
         if self.jobs < 1:
             raise ConfigurationError("cluster.jobs must be >= 1")
         if self.interarrival <= 0:
             raise ConfigurationError("cluster.interarrival must be > 0")
+        if self.arrivals and not isinstance(self.arrivals.get("process"), str):
+            raise ConfigurationError(
+                "cluster.arrivals needs a 'process' name (string); e.g. "
+                'arrivals = {process = "poisson", mean_interarrival = 25.0, '
+                "jobs = 1000}"
+            )
 
     @property
     def job_max_nodes(self) -> int:
@@ -252,6 +283,48 @@ def _section_from_dict(section: str, cls: type, payload: Any):
             f"valid keys: {sorted(known)}"
         )
     return cls(**payload)
+
+
+_INTERARRIVAL_WARNED = False
+
+
+def _check_cluster_payload(payload: Mapping[str, Any]) -> None:
+    """Validate the deprecated ``interarrival`` key against ``arrivals``.
+
+    ``cluster.interarrival`` is the legacy spelling of
+    ``cluster.arrivals = {process = "poisson", mean_interarrival = ...}``
+    (closed semantics, kept for bit-compatibility).  Setting it warns
+    once per process; setting both spellings with conflicting values is a
+    configuration error.
+    """
+    global _INTERARRIVAL_WARNED
+    if "interarrival" not in payload:
+        return
+    arrivals = payload.get("arrivals") or {}
+    if isinstance(arrivals, Mapping) and arrivals:
+        process = arrivals.get("process")
+        mean = arrivals.get("mean_interarrival", 25.0)
+        try:
+            consistent = process == "poisson" and float(mean) == float(
+                payload["interarrival"]
+            )
+        except (TypeError, ValueError):
+            consistent = False
+        if not consistent:
+            raise ConfigurationError(
+                "cluster.interarrival conflicts with cluster.arrivals "
+                f"(interarrival={payload['interarrival']!r} vs "
+                f"arrivals={dict(arrivals)!r}); drop the deprecated "
+                "interarrival key"
+            )
+    if not _INTERARRIVAL_WARNED:
+        _INTERARRIVAL_WARNED = True
+        warnings.warn(
+            "cluster.interarrival is deprecated; use cluster.arrivals = "
+            '{process = "poisson", mean_interarrival = ...} instead',
+            DeprecationWarning,
+            stacklevel=4,
+        )
 
 
 # --------------------------------------------------------------------------
@@ -310,11 +383,15 @@ class ScenarioSpec:
             entry: dict[str, Any] = {}
             for f in dataclasses.fields(value):
                 v = getattr(value, f.name)
-                if f.name == "options":
-                    if v:
-                        entry["options"] = dict(v)
+                if isinstance(v, dict):
+                    if v:  # empty option tables are omitted
+                        entry[f.name] = dict(v)
                 else:
                     entry[f.name] = v
+            if section == "cluster" and entry.get("arrivals"):
+                # An open-system spec: 'interarrival' would be the
+                # deprecated alias, so the canonical form drops it.
+                entry.pop("interarrival", None)
             payload[section] = entry
         if self.events:
             payload["events"] = list(self.events)
@@ -344,6 +421,10 @@ class ScenarioSpec:
             kwargs["name"] = str(payload["name"])
         for section, section_cls in _SECTION_TYPES.items():
             if section in payload:
+                if section == "cluster" and isinstance(
+                    payload[section], Mapping
+                ):
+                    _check_cluster_payload(payload[section])
                 kwargs[section] = _section_from_dict(
                     section, section_cls, payload[section]
                 )

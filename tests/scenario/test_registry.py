@@ -63,10 +63,21 @@ class TestDefaultRegistry:
         ]
         assert registry.names("cpumodel") == ["shared", "timeslice"]
         assert registry.names("engine") == ["server", "sim", "testbed"]
-        assert registry.names("workload") == ["lu", "mixed"]
-        assert registry.names("policy") == [
-            "adaptive", "backfill", "equipartition", "fcfs", "static",
+        assert registry.names("workload") == [
+            "bursty", "diurnal", "lu", "mixed", "poisson", "trace",
         ]
+        assert registry.names("policy") == [
+            "adaptive", "admission", "autoscale", "backfill",
+            "equipartition", "fcfs", "static",
+        ]
+
+    def test_descriptions_exposed(self):
+        registry = default_registry()
+        assert "MMPP" in registry.describe("workload", "bursty")
+        assert "admission" in registry.describe("policy", "admission")
+        assert registry.describe("engine", "sim") == ""
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            registry.describe("workload", "nope")
 
     def test_default_registry_is_memoized(self):
         assert default_registry() is default_registry()

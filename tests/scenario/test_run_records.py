@@ -170,6 +170,123 @@ class TestServerParity:
         assert two.metrics["mean_turnaround"] == three.metrics["mean_turnaround"]
 
 
+class TestOpenSystemRecords:
+    @staticmethod
+    def _open_spec(shards: int = 1, **cluster_kwargs) -> ScenarioSpec:
+        defaults = dict(
+            nodes=16,
+            policy="adaptive",
+            arrivals={
+                "process": "poisson",
+                "mean_interarrival": 5.0,
+                "jobs": 30,
+            },
+        )
+        defaults.update(cluster_kwargs)
+        return ScenarioSpec(
+            name="srv-open",
+            app=AppSection("lu"),
+            engine=EngineSection(
+                name="server", seed=2, shards=shards, shard_mode="inprocess"
+            ),
+            cluster=ClusterSection(**defaults),
+        )
+
+    def test_open_run_reports_slo_metrics(self):
+        record = run_scenario(self._open_spec())
+        metrics = record.metrics
+        assert metrics["jobs"] == 30
+        assert metrics["jobs_completed"] == 30
+        assert metrics["jobs_rejected"] == 0
+        assert metrics["rejection_rate"] == 0.0
+        assert metrics["throughput"] == pytest.approx(30 / record.makespan)
+        assert 0 < metrics["sojourn_p50"] <= metrics["sojourn_p99"]
+        assert metrics["sojourn_mean"] > 0
+        assert metrics["slowdown_mean"] >= 1.0
+        assert 0 < metrics["utilization_mean"] <= 1.0
+
+    def test_open_sharded_identical_across_shard_counts(self):
+        records = {k: run_scenario(self._open_spec(shards=k)) for k in (2, 3, 4)}
+        for k in (3, 4):
+            # Bit-identical across K, per the sharding determinism contract.
+            assert records[k].makespan == records[2].makespan
+            for key in ("sojourn_mean", "sojourn_p99", "throughput"):
+                assert records[k].metrics[key] == records[2].metrics[key]
+        # The eager engine agrees to the documented reassociation bound.
+        eager = run_scenario(self._open_spec(shards=1))
+        assert records[2].makespan == pytest.approx(eager.makespan, rel=1e-9)
+
+    def test_open_run_with_admission_policy(self):
+        record = run_scenario(
+            self._open_spec(
+                policy="admission",
+                policy_options={"max_active": 2, "inner": "adaptive"},
+                arrivals={
+                    "process": "bursty",
+                    "mean_interarrival": 2.0,
+                    "jobs": 40,
+                },
+            )
+        )
+        metrics = record.metrics
+        assert metrics["jobs_completed"] + metrics["jobs_rejected"] == 40
+        assert metrics["jobs_rejected"] > 0
+        assert metrics["rejection_rate"] == pytest.approx(
+            metrics["jobs_rejected"] / 40
+        )
+
+    def test_plain_policy_rejects_policy_options(self):
+        spec = self._open_spec(policy_options={"max_active": 2})
+        with pytest.raises(ConfigurationError, match="no policy_options"):
+            run_scenario(spec)
+
+    def test_stream_only_workload_rejected_on_closed_path(self):
+        # The closed path resolves the workload from the app name; an
+        # open-system process must be configured via cluster.arrivals.
+        spec = _server_spec()
+        spec = dataclasses.replace(spec, app=AppSection("poisson"))
+        with pytest.raises(ConfigurationError, match="cluster.arrivals"):
+            run_scenario(spec)
+
+    def test_closed_only_workload_has_no_stream_form(self):
+        from repro.scenario import Registry
+        from repro.scenario.builtins import install_builtins
+
+        registry = install_builtins(Registry(name="legacy"))
+        registry.register(
+            "workload",
+            "legacy",
+            lambda jobs, mean_interarrival, seed, max_nodes: [],
+        )
+        spec = self._open_spec(arrivals={"process": "legacy", "jobs": 5})
+        with pytest.raises(ConfigurationError, match="arrival-stream"):
+            run_scenario(spec, registry)
+
+    def test_closed_workload_streams_via_arrivals(self):
+        # lu/mixed keep a stream form too: a closed workload replayed as
+        # an arrival stream makes identical scheduling decisions.
+        closed = run_scenario(_server_spec())
+        opened = run_scenario(
+            self._open_spec(
+                nodes=12,
+                arrivals={
+                    "process": "lu",
+                    "mean_interarrival": 20.0,
+                    "jobs": 6,
+                },
+            )
+        )
+        assert opened.makespan == closed.makespan
+        assert opened.metrics["jobs_completed"] == 6
+
+    def test_bad_arrivals_options_report_cleanly(self):
+        spec = self._open_spec(
+            arrivals={"process": "poisson", "warp": 9, "jobs": 5}
+        )
+        with pytest.raises(ConfigurationError, match="cluster.arrivals"):
+            run_scenario(spec)
+
+
 # --------------------------------------------------------------------------
 # the record schema itself
 # --------------------------------------------------------------------------
