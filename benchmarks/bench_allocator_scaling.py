@@ -25,11 +25,13 @@ linear-scan cost the pre-heap implementation would have paid.
 A second, *dense-traffic* regime drives the same churn through all-to-all
 flows on a handful of nodes — the workload where the maxmin/packet dirty
 set is one giant component and every change used to fall back to a full
-solve.  There the warm-started re-solver (replay the previous solve's
-saturation prefix, re-solve only the suffix — see ``docs/performance.md``)
-is compared against the warm-start-disabled incremental allocator (the
-PR 2 baseline), plus one verify-mode pass shadow-checking every
-warm-started solve against the from-scratch solver.  Run it as a script::
+solve.  There four allocator generations run side by side: the PR 2
+incremental allocator without warm starts (``no-warm``), the PR 3
+warm-started re-solver that ends its prefix at the first undercut round
+(``pr3``), the current scalar replay with bounded insertion of
+undercutting links (``warm``), and the numpy structure-of-arrays backend
+(``soa``) — plus verify-mode passes shadow-checking every warm-started
+and SoA solve against the from-scratch solver.  Run it as a script::
 
     PYTHONPATH=src python benchmarks/bench_allocator_scaling.py [--quick]
         [--flows 16,64,256] [--jobs N] [--skip-dense]
@@ -37,9 +39,13 @@ warm-started solve against the from-scratch solver.  Run it as a script::
 It exits non-zero unless, at >= 64 flows, (a) for every model the
 incremental mode's combined allocator+horizon work per membership change
 is strictly below the full-recompute/linear-scan baseline (the acceptance
-bar for the sub-linear hot loop), and (b) in the dense regime the
+bar for the sub-linear hot loop), (b) in the dense regime the
 warm-started maxmin/packet allocators do strictly less work per change —
-and strictly fewer full fallbacks — than with warm starts disabled.
+and strictly fewer full fallbacks — than with warm starts disabled, warm
+inserts fire without costing fallbacks vs the PR 3 replay, and the SoA
+backend's warm path carries >= 90% of solves, and (c) at >= 256 flows
+the SoA backend clears the events/s ratio gates over the PR 3 scalar
+baseline (``SOA_SPEEDUP_GATES``).
 """
 
 from __future__ import annotations
@@ -65,6 +71,19 @@ CPU_MODELS = ("shared-cpu", "timeslice-cpu")
 MODELS = NETWORK_MODELS + CPU_MODELS
 #: Models whose component allocator supports the warm-started re-solve.
 WARM_MODELS = ("maxmin", "packet")
+#: Minimum events/s ratio the SoA backend must hold over the PR 3 scalar
+#: baseline ("pr3" rows) in the dense all-to-all regime.  Measured on the
+#: reference container: maxmin ~2.1x and packet ~3.4x at 256 flows,
+#: growing to ~3.7x / ~5.2x at 1024 (the scalar solve is O(flows) per
+#: event, the SoA solve near-constant); the gates sit below the measured
+#: ratios to absorb machine noise.  The issue's 5x-at-256 stretch target
+#: is not reachable in pure numpy at this size — per-op dispatch overhead
+#: (~2-3us x ~25 ops/solve) floors the SoA constant; see
+#: docs/performance.md.
+SOA_SPEEDUP_GATES = {"maxmin": 1.4, "packet": 1.8}
+#: Tighter gates once the pair space is large enough for the asymptotic
+#: advantage (applied at >= 1024 flows, the nightly sweep).
+SOA_SPEEDUP_GATES_LARGE = {"maxmin": 2.2, "packet": 3.2}
 
 
 def _build_network(
@@ -74,12 +93,33 @@ def _build_network(
     incremental: bool,
     warm_start: bool = True,
     verify: bool = False,
+    warm_insert: bool = True,
+    soa: bool = False,
 ):
     params = NetworkParams(latency=0.0, bandwidth=1e6)
+    if soa:
+        from repro.netmodel.soa import (
+            EqualShareStarNetworkSoA,
+            MaxMinStarNetworkSoA,
+            PacketNetworkSoA,
+        )
+
+        if model == "maxmin":
+            return MaxMinStarNetworkSoA(kernel, params, verify_incremental=verify)
+        if model == "equal-share":
+            return EqualShareStarNetworkSoA(
+                kernel, params, verify_incremental=verify
+            )
+        if model == "packet":
+            return PacketNetworkSoA(
+                kernel, params, seed=11, verify_incremental=verify
+            )
+        raise ValueError(f"no SoA backend for network model {model!r}")
     if model == "maxmin":
         return MaxMinStarNetwork(
             kernel, params, incremental=incremental,
             warm_start=warm_start, verify_incremental=verify,
+            warm_insert=warm_insert,
         )
     if model == "equal-share":
         return EqualShareStarNetwork(kernel, params, incremental=incremental)
@@ -87,6 +127,7 @@ def _build_network(
         return PacketNetwork(
             kernel, params, seed=11, incremental=incremental,
             warm_start=warm_start, verify_incremental=verify,
+            warm_insert=warm_insert,
         )
     if model == "backplane":
         # 1.0 oversubscription: a fabric that carries every port one-way at
@@ -121,6 +162,7 @@ class ChurnResult:
     rates_computed: int
     full_fallbacks: int
     warm_starts: int
+    warm_inserts: int
     verify_recomputes: int
     heap_ops: int
     scan_cost: int
@@ -165,6 +207,8 @@ def run_churn(
     dense: bool = False,
     warm_start: bool = True,
     verify: bool = False,
+    warm_insert: bool = True,
+    soa: bool = False,
     label: str | None = None,
 ) -> ChurnResult:
     """Steady-state churn: ``flows`` concurrent tasks, replaced on completion.
@@ -172,8 +216,10 @@ def run_churn(
     ``dense=True`` squeezes the flows onto the smallest node count whose
     all-to-all pair space covers them, making the flow/link graph one giant
     component (every change cascades).  ``warm_start=False`` is the PR 2
-    baseline; ``verify=True`` shadow-checks every incremental solve.
-    ``label`` overrides the derived mode name in the result row.
+    baseline; ``warm_insert=False`` restores the PR 3 replay (prefix ends
+    at the first undercut round); ``soa=True`` runs the numpy
+    structure-of-arrays backend; ``verify=True`` shadow-checks every
+    incremental solve.  ``label`` overrides the derived mode name.
     """
     kernel = Kernel()
     rng = random.Random(seed)
@@ -185,6 +231,7 @@ def run_churn(
         resource = _build_network(
             model, kernel, num_nodes, incremental,
             warm_start=warm_start, verify=verify,
+            warm_insert=warm_insert, soa=soa,
         )
 
         def submit() -> None:
@@ -230,6 +277,7 @@ def run_churn(
         rates_computed=stats.rates_computed,
         full_fallbacks=stats.full_fallbacks,
         warm_starts=stats.warm_starts,
+        warm_inserts=stats.warm_inserts,
         verify_recomputes=stats.verify_recomputes,
         heap_ops=horizon.heap_ops,
         scan_cost=horizon.scan_cost,
@@ -293,23 +341,37 @@ def main(argv=None) -> int:
     dense_models = tuple(m for m in models if m in WARM_MODELS)
     dense_scenarios = []
     if not args.skip_dense:
-        dense_scenarios = [
-            # (model, incremental, flows, completions, seed, dense,
-            #  warm_start, verify, label)
-            (model, True, flows, churn_factor * flows, 7, True, warm, False,
-             "warm" if warm else "no-warm")
-            for model in dense_models
-            for flows in flow_counts
-            for warm in (False, True)
-        ]
-        # One shadow-checked pass per model at the smallest gated flow
-        # count: verify mode raises inside the run on any divergence
-        # between a warm-started solve and the from-scratch solver.
+        # (model, incremental, flows, completions, seed, dense,
+        #  warm_start, verify, warm_insert, soa, label)
+        for model in dense_models:
+            for flows in flow_counts:
+                comps = churn_factor * flows
+                dense_scenarios += [
+                    # PR 2 baseline: no warm starts at all.
+                    (model, True, flows, comps, 7, True, False, False,
+                     True, False, "no-warm"),
+                    # PR 3 baseline: warm starts, prefix ends at the
+                    # first undercut round (no insertion).
+                    (model, True, flows, comps, 7, True, True, False,
+                     False, False, "pr3"),
+                    # Current scalar: warm starts + bounded insertion.
+                    (model, True, flows, comps, 7, True, True, False,
+                     True, False, "warm"),
+                    # Structure-of-arrays backend.
+                    (model, True, flows, comps, 7, True, True, False,
+                     True, True, "soa"),
+                ]
+        # One shadow-checked pass per model and backend at the smallest
+        # gated flow count: verify mode raises inside the run on any
+        # divergence between an incremental solve (warm-started or SoA)
+        # and the from-scratch solver.
         verify_flows = [f for f in flow_counts if f >= 64] or flow_counts
+        vf = min(verify_flows)
         dense_scenarios += [
-            (model, True, min(verify_flows), churn_factor * min(verify_flows),
-             7, True, True, True, "warm+verify")
+            (model, True, vf, churn_factor * vf,
+             7, True, True, True, True, soa, label)
             for model in dense_models
+            for soa, label in ((False, "warm+verify"), (True, "soa+verify"))
         ]
     all_scenarios = scenarios + dense_scenarios
     if args.jobs != 1:
@@ -356,8 +418,10 @@ def main(argv=None) -> int:
         print(
             "\ndense regime — all-to-all flows on one star (one giant "
             "component; every\nchange cascades).  no-warm = PR 2 baseline "
-            "(warm starts disabled); warm+verify\nshadow-checks every "
-            "solve against the from-scratch solver:"
+            "(warm starts disabled); pr3 = PR 3\nbaseline (warm starts, "
+            "no insertion); warm = warm starts + bounded insertion;\n"
+            "soa = numpy structure-of-arrays backend; *+verify "
+            "shadow-checks every solve\nagainst the from-scratch solver:"
         )
         print_rows(dense_results)
 
@@ -392,6 +456,8 @@ def main(argv=None) -> int:
                 continue
             warm = dense_by_key[(model, flows, "warm")]
             nowarm = dense_by_key[(model, flows, "no-warm")]
+            pr3 = dense_by_key[(model, flows, "pr3")]
+            soa = dense_by_key[(model, flows, "soa")]
             if not warm.warm_starts > 0:
                 failures.append(
                     f"dense {model} @ {flows} flows: no warm start ever fired"
@@ -407,6 +473,46 @@ def main(argv=None) -> int:
                     f"dense {model} @ {flows} flows: warm fallbacks "
                     f"{warm.full_fallbacks} >= no-warm {nowarm.full_fallbacks}"
                 )
+            # Warm-insert acceptance: insertion must fire, and must not
+            # cost fallbacks relative to the PR 3 first-undercut replay.
+            if not warm.warm_inserts > 0:
+                failures.append(
+                    f"dense {model} @ {flows} flows: no warm insert ever fired"
+                )
+            if not warm.full_fallbacks <= pr3.full_fallbacks:
+                failures.append(
+                    f"dense {model} @ {flows} flows: warm-insert fallbacks "
+                    f"{warm.full_fallbacks} > pr3 {pr3.full_fallbacks}"
+                )
+            # SoA counter acceptance at every gated flow count: the
+            # vectorized warm path must carry the load, not the scalar
+            # fallback solver.
+            if not soa.warm_starts > 0:
+                failures.append(
+                    f"dense {model} @ {flows} flows: SoA warm solve never "
+                    "accepted"
+                )
+            if not soa.full_fallbacks * 10 < soa.allocator_calls:
+                failures.append(
+                    f"dense {model} @ {flows} flows: SoA fell back to the "
+                    f"scalar solver on {soa.full_fallbacks}/"
+                    f"{soa.allocator_calls} solves (>= 10%)"
+                )
+            # SoA throughput acceptance (the perf tentpole): events/s
+            # against the PR 3 scalar baseline, wall-clock-gated only at
+            # flow counts large enough for stable ratios.
+            if flows >= 256:
+                gates = (
+                    SOA_SPEEDUP_GATES_LARGE if flows >= 1024
+                    else SOA_SPEEDUP_GATES
+                )
+                ratio = soa.events_per_sec / pr3.events_per_sec
+                if not ratio >= gates[model]:
+                    failures.append(
+                        f"dense {model} @ {flows} flows: SoA events/s only "
+                        f"{ratio:.2f}x the pr3 scalar baseline "
+                        f"(gate {gates[model]:.1f}x)"
+                    )
     if failures:
         print("\nFAIL: hot loop not sub-linear:", file=sys.stderr)
         for line in failures:
@@ -418,8 +524,10 @@ def main(argv=None) -> int:
     print("\nOK: incremental allocator+horizon work per change beats the "
           "full-recompute/linear-scan\nbaseline for every model at every "
           "flow count >= 64" +
-          (", and dense-regime warm starts beat\nthe PR 2 full-fallback "
-           "path for maxmin/packet." if dense_results else "."))
+          (", dense-regime warm starts beat\nthe PR 2 full-fallback path, "
+           "warm inserts fire for free, and the SoA backend\nclears its "
+           "events/s gates over the PR 3 baseline for maxmin/packet."
+           if dense_results else "."))
     return 0
 
 

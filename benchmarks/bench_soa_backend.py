@@ -1,0 +1,52 @@
+"""Scalar-vs-SoA backend pairs for the nightly trend charts.
+
+Each dense-churn scenario is benchmarked twice under the *same* name
+pattern — ``…[<model>-scalar]`` and ``…[<model>-soa]`` — so the nightly
+``--benchmark-json`` output records the pair side by side and
+``repro trend`` charts their ratio across runs.  The hard speed-up gates
+live in ``bench_allocator_scaling.py`` (run separately by CI); these
+benches only *record*, so a slow CI machine shows up as a trend wobble
+instead of a red build.
+
+The workload matches the gated dense regime: all-to-all churn at 256
+concurrent flows on the smallest node count whose pair space covers
+them, scalar rows on the PR 3+ warm-start/warm-insert path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_allocator_scaling import run_churn
+
+#: the gated dense regime (see SOA_SPEEDUP_GATES)
+FLOWS = 256
+#: enough completions for steady-state churn without dominating nightly time
+COMPLETIONS = 512
+
+
+def _churn(model: str, soa: bool):
+    return run_churn(
+        model,
+        incremental=True,
+        flows=FLOWS,
+        completions=COMPLETIONS,
+        dense=True,
+        soa=soa,
+        label="soa" if soa else "scalar",
+    )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "soa"])
+@pytest.mark.parametrize("model", ["maxmin", "packet"])
+def test_dense_churn_backend_pair(benchmark, model, backend):
+    if backend == "soa":
+        pytest.importorskip("numpy")
+    result = benchmark.pedantic(
+        lambda: _churn(model, soa=backend == "soa"), rounds=3, iterations=1
+    )
+    # Sanity: the run really exercised the intended allocator path.
+    assert result.events >= FLOWS + COMPLETIONS
+    if backend == "soa":
+        assert result.warm_starts > 0
+        assert result.full_fallbacks * 10 < result.allocator_calls

@@ -19,6 +19,12 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    # The des/netmodel/cpumodel core runs dependency-free; numpy (and the
+    # scipy triangular-solve accelerator) power the opt-in "*-soa"
+    # structure-of-arrays backends and the numerical apps.
+    install_requires=["networkx>=2.8"],
+    extras_require={
+        "fast": ["numpy>=1.23", "scipy>=1.9"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
 )

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.analysis.metrics import relative_error
 

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.apps.lu.blockmath import random_matrix, verify_factorization
 from repro.apps.lu.config import LUConfig

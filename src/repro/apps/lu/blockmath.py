@@ -17,8 +17,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-import scipy.linalg
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
+try:
+    import scipy.linalg
+except ImportError:  # no-scipy install: this module fails at use, not import
+    scipy = None  # type: ignore[assignment]
 
 from repro.errors import VerificationError
 

@@ -31,7 +31,10 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.apps.lu.blockmath import (
     apply_pivots,

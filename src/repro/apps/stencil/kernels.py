@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.cpumodel.machines import MachineProfile
 from repro.dps.operations import KernelSpec

@@ -31,6 +31,7 @@ from repro.scenario.spec import (  # noqa: F401  (re-exports)
 from repro.scenario import (
     AppSection,
     EngineSection,
+    ModelSection,
     ProviderSection,
     RunRecord,
     ScenarioSpec,
@@ -60,6 +61,20 @@ def add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--verify",
         action="store_true",
         help="check the numerical result (needs --mode pdexec)",
+    )
+    parser.add_argument(
+        "--netmodel",
+        default=None,
+        metavar="NAME",
+        help="network model plugin for the sim engine (e.g. maxmin, "
+        "maxmin-soa; see 'repro scenarios list'); default: star",
+    )
+    parser.add_argument(
+        "--cpumodel",
+        default=None,
+        metavar="NAME",
+        help="CPU model plugin for the sim engine (e.g. shared, "
+        "shared-soa; see 'repro scenarios list'); default: shared",
     )
     parser.add_argument(
         "--persist-cache",
@@ -93,6 +108,13 @@ def scenario_from_args(
     if persist is not None:
         provider_options["persist"] = bool(persist)
     events = tuple(getattr(args, "kill", None) or ())
+    # --netmodel/--cpumodel select model plugins (e.g. the *-soa numpy
+    # backends); left at None, the spec's defaults apply.
+    model_sections = {}
+    if getattr(args, "netmodel", None):
+        model_sections["netmodel"] = ModelSection(str(args.netmodel))
+    if getattr(args, "cpumodel", None):
+        model_sections["cpumodel"] = ModelSection(str(args.cpumodel))
     return ScenarioSpec(
         name=name or app,
         app=AppSection(app, dict(options)),
@@ -104,6 +126,7 @@ def scenario_from_args(
         ),
         provider=ProviderSection("auto", provider_options),
         events=events,
+        **model_sections,
     )
 
 

@@ -1,0 +1,282 @@
+"""Structure-of-arrays CPU models: the numpy backend of the CPU layer.
+
+The scalar CPU models keep one :class:`~repro.des.fluid.FluidTask` per
+compute step and re-rate slice groups through per-object dict walks
+(:class:`~repro.cpumodel.base.NodeSlicedAllocator`).  This module fuses the
+pool and the allocator into a :class:`~repro.des.soa.SoaFluidEngine`
+subclass that stores every step as a row of parallel arrays (host id, work,
+remaining, rate) and assigns rates with one vectorized pass: group sizes by
+``bincount`` over the host column, the per-host rate law broadcast over the
+live slots.
+
+The rate laws are the scalar ones, reproduced operation for operation so
+both backends compute bit-identical rates:
+
+* shared (:class:`SharedCpuModelSoA`) — ``power / resident``;
+* timeslice (:class:`TimesliceCpuModelSoA`) —
+  ``power / (1 + csw_overhead * (resident - 1)) / resident``, with the
+  same seeded lognormal work inflation drawn from the same RNG stream in
+  the same order as the scalar model.
+
+Available power per host still comes from the scalar
+:class:`~repro.cpumodel.commcost.CommCostModel` (a handful of Python calls
+per solve — one per distinct dirty host), cached exactly like the scalar
+allocator caches it: a membership delta invalidates the changed hosts'
+entries, a network refresh re-reads the hinted hosts and re-rates only when
+a cached power actually moved.
+
+``verify_incremental=True`` shadows every solve with a from-scratch
+recomputation of the law (fresh powers, fresh group sizes) and raises
+:class:`~repro.errors.SimulationError` on divergence beyond 1e-9 relative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cpumodel.base import CompletionCallback, CpuModel, CpuTaskHandle
+from repro.cpumodel.commcost import CommCostModel
+from repro.cpumodel.timeslice import TimesliceParams, _ConvexCommCost
+from repro.des.kernel import Kernel
+from repro.des.soa import SoaFluidEngine, np
+from repro.errors import SimulationError
+
+_VERIFY_RTOL = 1e-9
+
+
+class _CpuSoaEngine(SoaFluidEngine):
+    """Per-host slice groups over parallel arrays.
+
+    Subclasses implement :meth:`_rate_law`, the per-step rate as a function
+    of host power and resident count.  It is written once and evaluated
+    both vectorized (numpy arrays, the solve path) and scalar (Python
+    floats, the verify shadow); keeping a single definition is what makes
+    the backends' float behaviour identical.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        on_complete: Any,
+        model: "CpuModel",
+        verify: bool = False,
+    ) -> None:
+        super().__init__(kernel, name, on_complete, verify=verify)
+        self._model = model
+        self.node = np.zeros(self.work.shape[0], dtype=np.int64)
+        #: cached available power per host with resident steps (see
+        #: NodeSlicedAllocator._power for the invalidation discipline)
+        self._power: dict[int, float] = {}
+
+    # ---------------------------------------------------------------- hooks
+    def _rate_law(self, power, resident):
+        """Per-step rate on a host with ``resident`` runnable steps.
+
+        Must use only operations defined identically on floats and numpy
+        arrays (it is called with both).
+        """
+        raise NotImplementedError
+
+    def _grow_slots(self, old: int, new: int) -> None:
+        node = np.zeros(new, dtype=np.int64)
+        node[:old] = self.node
+        self.node = node
+
+    def _register(self, slot: int) -> None:
+        self.node[slot] = self.tags[slot].node
+
+    # ------------------------------------------------------------ rate solve
+    def _assign_rates(self) -> int:
+        """Vectorized full assignment; returns the number of rates written.
+
+        Powers come from the cache (recomputed only for hosts the caller
+        invalidated), group sizes from a bincount over the live host
+        column.  Hosts that lost their last resident step are pruned from
+        the power cache here, mirroring the scalar allocator.
+        """
+        live_idx = np.flatnonzero(self.live)
+        if not live_idx.size:
+            self._power.clear()
+            return 0
+        hosts = self.node[live_idx]
+        uniq, inv = np.unique(hosts, return_inverse=True)
+        resident = np.bincount(inv)
+        power = np.empty(uniq.shape[0])
+        for i, host in enumerate(uniq.tolist()):
+            cached = self._power.get(host)
+            if cached is None:
+                cached = self._model._node_power(host)
+                self._power[host] = cached
+            power[i] = cached
+        if len(self._power) > uniq.shape[0]:
+            occupied = set(uniq.tolist())
+            for host in [h for h in self._power if h not in occupied]:
+                del self._power[host]
+        self.rate[live_idx] = self._rate_law(power[inv], resident[inv])
+        return int(live_idx.size)
+
+    def _solve_update(self, added: list[int], removed: list[int]) -> None:
+        # Recompute the dirty hosts' power rather than trusting the cache:
+        # a transfer-completion callback can submit work before the
+        # network's change notification arrives (see the matching comment
+        # in NodeSlicedAllocator._update).
+        for slot in added:
+            self._power.pop(int(self.node[slot]), None)
+        for slot in removed:
+            self._power.pop(int(self.node[slot]), None)
+        self.stats.rates_computed += self._assign_rates()
+
+    def _solve_refresh(self, hint: Any) -> None:
+        hosts = list(self._power) if hint is None else [int(h) for h in hint]
+        moved = False
+        for host in hosts:
+            cached = self._power.get(host)
+            if cached is None:
+                continue  # no resident steps on this host
+            power = self._model._node_power(host)
+            if power != cached:
+                self._power[host] = power
+                moved = True
+        if moved:
+            self.stats.rates_computed += self._assign_rates()
+
+    def _verify_full(self) -> None:
+        live_idx = np.flatnonzero(self.live)
+        resident: dict[int, int] = {}
+        for host in self.node[live_idx].tolist():
+            resident[host] = resident.get(host, 0) + 1
+        fresh = {host: self._model._node_power(host) for host in resident}
+        for slot in live_idx.tolist():
+            host = int(self.node[slot])
+            expected = self._rate_law(fresh[host], resident[host])
+            got = float(self.rate[slot])
+            scale = max(abs(expected), abs(got), 1.0)
+            if abs(expected - got) > _VERIFY_RTOL * scale:
+                raise SimulationError(
+                    f"engine {self.name!r}: incremental rate diverged from "
+                    f"the slice law on host {host}: "
+                    f"incremental={got!r} full={expected!r}"
+                )
+
+
+class _SharedCpuSoaEngine(_CpuSoaEngine):
+    """The paper's even-share law (shared.py's ``power / resident``)."""
+
+    def _rate_law(self, power, resident):
+        return power / resident
+
+
+class _TimesliceCpuSoaEngine(_CpuSoaEngine):
+    """timeslice.py's overhead-degraded law, same float op order."""
+
+    def __init__(self, *args: Any, csw_overhead: float, **kw: Any) -> None:
+        super().__init__(*args, **kw)
+        self._csw = csw_overhead
+
+    def _rate_law(self, power, resident):
+        degraded = power / (1.0 + self._csw * (resident - 1))
+        return degraded / resident
+
+
+# --------------------------------------------------------------------------
+# model front-ends
+# --------------------------------------------------------------------------
+
+
+class _SoaCpuModel(CpuModel):
+    """Shared front-end plumbing of the SoA CPU models."""
+
+    _pool: _CpuSoaEngine
+
+    def submit(
+        self,
+        node: int,
+        work: float,
+        on_complete: CompletionCallback,
+        tag: Any = None,
+    ) -> CpuTaskHandle:
+        if work < 0.0:
+            raise SimulationError(f"compute work must be >= 0, got {work!r}")
+        handle = CpuTaskHandle(node, work, on_complete, tag)
+        self._running[handle.node] = self._running.get(handle.node, 0) + 1
+        self._pool.add(self._effective_work(handle), handle)
+        return handle
+
+    def _effective_work(self, handle: CpuTaskHandle) -> float:
+        return handle.work
+
+    def running_steps(self, node: int) -> int:
+        return self._running.get(node, 0)
+
+    def _step_done(self, handle: CpuTaskHandle) -> None:
+        self._running[handle.node] -= 1
+        self._record_completion(handle.node, handle.work)
+        handle.on_complete(handle)
+
+    def _on_network_change(self, nodes: Optional[tuple[int, ...]] = None) -> None:
+        self._pool.reallocate(hint=nodes)
+
+
+class SharedCpuModelSoA(_SoaCpuModel):
+    """SoA backend of :class:`~repro.cpumodel.shared.SharedCpuModel`.
+
+    Same even-share law, same completion semantics and observability; the
+    per-step state lives in numpy arrays instead of Python objects.
+    ``verify_incremental=True`` shadows every solve with a from-scratch
+    recomputation of the law.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        comm_cost: CommCostModel | None = None,
+        verify_incremental: bool = False,
+    ) -> None:
+        super().__init__(kernel, comm_cost)
+        self._pool = _SharedCpuSoaEngine(
+            kernel, "shared-cpu-soa", self._step_done, self,
+            verify=verify_incremental,
+        )
+        #: allocator-protocol stats surface (``RunRecord`` model metrics)
+        self.allocator = self._pool
+        self._running: dict[int, int] = {}
+
+
+class TimesliceCpuModelSoA(_SoaCpuModel):
+    """SoA backend of :class:`~repro.cpumodel.timeslice.TimesliceCpuModel`.
+
+    Replays the scalar model's seeded lognormal work inflation draw for
+    draw (same RNG stream, same draw order), so the same seed produces the
+    same testbed "measurements" on either backend.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: TimesliceParams | None = None,
+        seed: int = 0,
+        verify_incremental: bool = False,
+    ) -> None:
+        ts = params or TimesliceParams()
+        super().__init__(kernel, _ConvexCommCost(ts))
+        # Imported lazily-by-module: util.rng needs numpy, which the SoA
+        # backend requires anyway.
+        from repro.util.rng import SeedSequenceFactory
+
+        self.params = ts
+        self._rng = SeedSequenceFactory(seed).rng("timeslice-cpu")
+        self._pool = _TimesliceCpuSoaEngine(
+            kernel, "timeslice-cpu-soa", self._step_done, self,
+            verify=verify_incremental, csw_overhead=ts.csw_overhead,
+        )
+        self.allocator = self._pool
+        self._running: dict[int, int] = {}
+
+    def _effective_work(self, handle: CpuTaskHandle) -> float:
+        if self.params.noise_sigma > 0.0 and handle.work > 0.0:
+            noise = float(
+                self._rng.lognormal(mean=0.0, sigma=self.params.noise_sigma)
+            )
+            return handle.work * noise
+        return handle.work

@@ -263,6 +263,10 @@ class AllocatorStats:
     #: prefix and re-solving only the suffix (never also counted as a
     #: fallback)
     warm_starts: int = 0
+    #: rounds *inserted* into the cached saturation order during a warm
+    #: replay (an affected link undercut a cached round and was frozen in
+    #: place instead of ending the prefix) — see ``warm_insert``
+    warm_inserts: int = 0
     #: component-restricted re-solves that *repaired* the cached
     #: saturation order in place (dirty component's rounds replaced and
     #: share-merged) instead of invalidating it
@@ -280,6 +284,7 @@ class AllocatorStats:
         self.incremental_updates = 0
         self.full_fallbacks = 0
         self.warm_starts = 0
+        self.warm_inserts = 0
         self.warm_merges = 0
         self.verify_recomputes = 0
         self.refreshes = 0

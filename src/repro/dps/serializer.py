@@ -18,7 +18,10 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.dps.data_objects import DataObject
 from repro.errors import SerializationError
@@ -61,9 +64,7 @@ def payload_nbytes(value: Any) -> float:
     """
     if value is None:
         return 0.0
-    if isinstance(value, np.ndarray):
-        return float(value.nbytes)
-    if isinstance(value, np.generic):
+    if np is not None and isinstance(value, (np.ndarray, np.generic)):
         return float(value.nbytes)
     if isinstance(value, bool):
         return 1.0

@@ -26,6 +26,7 @@ the warm-start invariants); the complexity story in
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from abc import ABC, abstractmethod
@@ -398,11 +399,13 @@ class LinkComponentAllocator(RateAllocator):
         cascade_threshold: float = 0.5,
         verify: bool = False,
         warm_start: bool = True,
+        warm_insert: bool = True,
     ) -> None:
         super().__init__(verify=verify)
         self.capacity = capacity
         self.cascade_threshold = cascade_threshold
         self.warm_start = warm_start
+        self.warm_insert = warm_insert
         # Insertion-ordered (dict-as-set): set iteration over id-hashed
         # tasks or str-hashed links would vary between process runs and
         # leak float nondeterminism into the solve order.
@@ -511,6 +514,62 @@ class LinkComponentAllocator(RateAllocator):
         ``False`` when no usable prefix exists — the caller then performs
         the accounted full fallback.  Cost: O(prefix flows + rounds ·
         |affected|) for the replay plus a suffix-sized bottleneck search.
+
+        When ``warm_insert`` is on, an undercut does not end the prefix:
+        the undercutting link *is* the true next bottleneck (its fair
+        share is below the round's share, every unaffected link's share
+        is at or above it, and it is the minimum among the affected
+        links), so a new round freezing its unfrozen flows at that share
+        is inserted into the order and the replay continues.  The links
+        of the just-frozen flows join the affected set — their residuals
+        changed — so later rounds they bottleneck still break the prefix.
+        Each insertion is exact and bounded by the link's membership;
+        ``stats.warm_inserts`` counts them.  This is what lets a flow
+        added to an already-solved component warm-start even when its
+        link undercuts the very first cached round.
+        """
+        if self.warm_insert:
+            prefix, frozen, consumed = self._replay_insert(affected)
+        else:
+            prefix, frozen, consumed = self._replay_plain(affected)
+        if not prefix:
+            return False
+        suffix = [task for task in tasks if task not in frozen]
+        self.stats.warm_starts += 1
+        self.stats.rates_computed += len(suffix)
+        suffix_rounds: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
+        if suffix:
+            residual = {
+                link: max(0.0, self.capacity - used)
+                for link, used in consumed.items()
+            }
+            solution = maxmin_solve(
+                [self._flow(t) for t in suffix], self.capacity, residual=residual
+            )
+            for task, rate in zip(suffix, solution.rates):
+                self._apply_rate(task, rate)
+            suffix_rounds = [
+                (link, share, tuple(suffix[i] for i in indices))
+                for link, share, indices in solution.rounds
+            ]
+        # Prefix shares are <= every suffix share (the suffix starts at the
+        # break point's residual state), so the concatenation is itself a
+        # valid saturation order for the current membership — reusable by
+        # the next warm start.
+        self._warm = _WarmSolution(self.capacity, prefix + suffix_rounds)
+        return True
+
+    def _replay_plain(
+        self, affected: list[Link]
+    ) -> tuple[
+        list[tuple[Link, float, tuple[FluidTask, ...]]],
+        dict[FluidTask, None],
+        dict[Link, float],
+    ]:
+        """The PR 3 replay: the prefix ends at the first affected round.
+
+        Kept verbatim as the ``warm_insert=False`` baseline the dense
+        bench compares against.
         """
         warm = self._warm
         affected_set = set(affected)
@@ -553,32 +612,147 @@ class LinkComponentAllocator(RateAllocator):
                     if link in counts:
                         counts[link] -= 1
             prefix.append(entry)
-        if not prefix:
-            return False
-        suffix = [task for task in tasks if task not in frozen]
-        self.stats.warm_starts += 1
-        self.stats.rates_computed += len(suffix)
-        suffix_rounds: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
-        if suffix:
-            residual = {
-                link: max(0.0, self.capacity - used)
-                for link, used in consumed.items()
-            }
-            solution = maxmin_solve(
-                [self._flow(t) for t in suffix], self.capacity, residual=residual
-            )
-            for task, rate in zip(suffix, solution.rates):
-                self._apply_rate(task, rate)
-            suffix_rounds = [
-                (link, share, tuple(suffix[i] for i in indices))
-                for link, share, indices in solution.rounds
-            ]
-        # Prefix shares are <= every suffix share (the suffix starts at the
-        # break point's residual state), so the concatenation is itself a
-        # valid saturation order for the current membership — reusable by
-        # the next warm start.
-        self._warm = _WarmSolution(self.capacity, prefix + suffix_rounds)
-        return True
+        return prefix, frozen, consumed
+
+    def _replay_insert(
+        self, affected: list[Link]
+    ) -> tuple[
+        list[tuple[Link, float, tuple[FluidTask, ...]]],
+        dict[FluidTask, None],
+        dict[Link, float],
+    ]:
+        """Replay with bounded insertion of undercutting affected links.
+
+        Affected links live in a lazy min-heap keyed by their current
+        fair share; entries carry the (count, consumed) state they were
+        computed from and are discarded when the link has moved on, so
+        each cached round costs O(1) amortized instead of O(|affected|).
+        An entry below the round's share triggers an insertion; the
+        links its frozen flows touch join the affected set (their
+        residuals changed) with their own heap entries.  A cached round
+        whose bottleneck is affected is skipped when insertions already
+        froze its whole membership, and breaks the prefix otherwise (its
+        share rose — only a drop is provably the next bottleneck).
+        """
+        warm = self._warm
+        capacity = self.capacity
+        affected_set = set(affected)
+        counts = {
+            link: len(self._link_tasks.get(link, ())) for link in affected
+        }
+        consumed: dict[Link, float] = {}
+        # Frozen-flow tallies per link (all links, not just affected) so a
+        # link entering the affected set mid-replay can derive its current
+        # unfrozen count without scanning its membership.
+        frozen_on: dict[Link, int] = {}
+        frozen: dict[FluidTask, None] = {}
+        prefix: list[tuple[Link, float, tuple[FluidTask, ...]]] = []
+        # Lazy share heap over the affected links: (share, link, count,
+        # consumed); an entry is valid iff its state matches the link's.
+        heap: list[tuple[float, Link, int, float]] = []
+
+        def push(link: Link) -> None:
+            count = counts[link]
+            if count > 0:
+                used = consumed.get(link, 0.0)
+                heapq.heappush(heap, ((capacity - used) / count, link, count, used))
+
+        for link in counts:
+            push(link)
+        broke = False
+        for entry in warm.rounds:
+            bottleneck, share, round_tasks = entry
+            threshold = share * (1.0 - _WARM_RTOL)
+            accept = True
+            while True:
+                # The minimum-share affected link, if it undercuts this
+                # round; lazily discard entries whose link moved on.
+                insert_link: Optional[Link] = None
+                insert_share = 0.0
+                while heap and heap[0][0] < threshold:
+                    s_top, link, count, used = heap[0]
+                    if counts[link] != count or consumed.get(link, 0.0) != used:
+                        heapq.heappop(heap)  # stale
+                        continue
+                    insert_link, insert_share = link, s_top
+                    break
+                if insert_link is None:
+                    if bottleneck in affected_set:
+                        if counts[bottleneck] == 0:
+                            # Every member of this round's bottleneck is
+                            # already frozen (by inserted rounds) or
+                            # removed; the round would freeze nothing —
+                            # skip it.
+                            accept = False
+                            break
+                        # The bottleneck's fair share did not strictly
+                        # drop (no undercut): for removals it *rose*, so
+                        # the cached share and frozen-flow set are stale
+                        # and unfrozen unaffected links may saturate
+                        # first — end the prefix.
+                        broke = True
+                        break
+                    break
+                # Insert the undercutting link as the next round: its fair
+                # share is below this round's share, every unaffected
+                # unfrozen link sits at or above the round's share, and
+                # affected links sit at or above it by heap minimality —
+                # so freezing its unfrozen flows at its fair share is
+                # exactly what the full solve would do next.
+                heapq.heappop(heap)
+                members = [
+                    task
+                    for task in self._link_tasks.get(insert_link, ())
+                    if task not in frozen
+                ]
+                if not members:  # pragma: no cover - count drift guard
+                    counts[insert_link] = 0
+                    continue
+                touched: dict[Link, None] = {}
+                for task in members:
+                    frozen[task] = None
+                    self._apply_rate(task, insert_share)
+                    for link in self._links(task):
+                        consumed[link] = consumed.get(link, 0.0) + insert_share
+                        if link not in counts:
+                            # The link's residual changed: it joins the
+                            # affected set at its current unfrozen count.
+                            counts[link] = len(
+                                self._link_tasks.get(link, ())
+                            ) - frozen_on.get(link, 0)
+                            affected_set.add(link)
+                        counts[link] -= 1
+                        frozen_on[link] = frozen_on.get(link, 0) + 1
+                        touched[link] = None
+                for link in touched:
+                    push(link)
+                prefix.append((insert_link, insert_share, tuple(members)))
+                self.stats.warm_inserts += 1
+                self.stats.rates_computed += len(members)
+                # Re-check this same cached round against the grown
+                # affected set before deciding its fate.
+            if broke:
+                break
+            if not accept:
+                continue
+            # Accept the round.  Every frozen task is still present and
+            # unfrozen: a removed task's links are both affected, so the
+            # round that froze it broke above; a task frozen by an
+            # inserted round crosses only links in the affected set,
+            # whose later cached rounds are skipped or break.
+            touched_counts: dict[Link, None] = {}
+            for task in round_tasks:
+                frozen[task] = None
+                for link in self._links(task):
+                    consumed[link] = consumed.get(link, 0.0) + share
+                    if link in counts:
+                        counts[link] -= 1
+                        touched_counts[link] = None
+                    frozen_on[link] = frozen_on.get(link, 0) + 1
+            for link in touched_counts:
+                push(link)
+            prefix.append(entry)
+        return prefix, frozen, consumed
 
     # ------------------------------------------------------------- allocator
     def _full(self, tasks: Collection[FluidTask]) -> None:

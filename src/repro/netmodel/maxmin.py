@@ -98,6 +98,7 @@ class MaxMinStarNetwork(NetworkModel):
         verify_incremental: bool = False,
         cascade_threshold: float = 0.5,
         warm_start: bool = True,
+        warm_insert: bool = True,
     ) -> None:
         super().__init__(kernel, params)
         allocator_cls = (
@@ -108,6 +109,7 @@ class MaxMinStarNetwork(NetworkModel):
             cascade_threshold=cascade_threshold,
             verify=verify_incremental,
             warm_start=warm_start and incremental,
+            warm_insert=warm_insert,
         )
         self._pool = FluidPool(kernel, self.allocator, name="maxmin-network")
 

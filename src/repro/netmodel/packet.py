@@ -116,6 +116,7 @@ class PacketNetwork(NetworkModel):
         verify_incremental: bool = False,
         cascade_threshold: float = 0.5,
         warm_start: bool = True,
+        warm_insert: bool = True,
     ) -> None:
         super().__init__(kernel, params)
         self.packet_params = packet_params or PacketNetworkParams()
@@ -128,6 +129,7 @@ class PacketNetwork(NetworkModel):
             cascade_threshold=cascade_threshold,
             verify=verify_incremental,
             warm_start=warm_start and incremental,
+            warm_insert=warm_insert,
         )
         self._pool = FluidPool(kernel, self.allocator, name="packet-network")
 

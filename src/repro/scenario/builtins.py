@@ -5,9 +5,11 @@ may use to the concrete classes of the repository:
 
 * **apps** — ``lu``, ``stencil``, ``sort``, ``matmul``, ``imgpipe``;
 * **netmodels** — ``star`` (equal share, the paper's model), ``maxmin``,
-  ``packet``, ``backplane``, ``analytic``;
+  ``packet``, ``backplane``, ``analytic``, plus the numpy
+  structure-of-arrays variants ``star-soa``, ``maxmin-soa``,
+  ``packet-soa`` (scalar fallback when numpy is absent);
 * **cpumodels** — ``shared`` (the simulator's), ``timeslice`` (the
-  testbed's);
+  testbed's), plus ``shared-soa`` / ``timeslice-soa``;
 * **providers** — ``costmodel`` (PDEXEC), ``direct``,
   ``measure_first_n`` (plus the ``auto`` mode-derived default);
 * **engines** — ``sim``, ``testbed``, ``server``;
@@ -23,6 +25,7 @@ Extension guide: register your own under a new name (see
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
@@ -39,6 +42,35 @@ def _strict(name: str, cls: Callable[..., Any]) -> Callable[..., Any]:
             raise ConfigurationError(
                 f"invalid options for {name!r}: {exc}"
             ) from None
+
+    return factory
+
+
+def _stderr_hint(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _soa_or_scalar(
+    name: str,
+    load_soa: Callable[[], Callable[..., Any]],
+    scalar_factory: Callable[..., Any],
+) -> Callable[..., Any]:
+    """A ``*-soa`` plugin factory with the graceful scalar fallback.
+
+    With numpy present the SoA class (imported lazily — its module chain
+    needs numpy) is built strictly; without it the scalar equivalent runs
+    instead, after a one-line hint (not an error) on stderr.  The SoA
+    models accept a subset of the scalar options, so every spec that
+    resolves on a numpy-less install resolves identically on a full one.
+    """
+
+    def factory(*args: Any, **options: Any) -> Any:
+        from repro.des.soa import emit_numpy_hint_once, soa_available
+
+        if soa_available():
+            return _strict(name, load_soa())(*args, **options)
+        emit_numpy_hint_once(_stderr_hint)
+        return scalar_factory(*args, **options)
 
     return factory
 
@@ -160,22 +192,78 @@ def _install_netmodels(registry: Registry) -> None:
     from repro.netmodel.analytic import AnalyticNetwork
     from repro.netmodel.backplane import BackplaneStarNetwork
     from repro.netmodel.maxmin import MaxMinStarNetwork
-    from repro.netmodel.packet import PacketNetwork
     from repro.netmodel.star import EqualShareStarNetwork
 
-    registry.register("netmodel", "star", _strict("netmodel star", EqualShareStarNetwork))
-    registry.register("netmodel", "maxmin", _strict("netmodel maxmin", MaxMinStarNetwork))
-    registry.register("netmodel", "packet", _strict("netmodel packet", PacketNetwork))
+    def packet_scalar(*args: Any, **options: Any) -> Any:
+        # Lazy: the scalar packet model seeds its noise through numpy's
+        # RNG, and the registry must import on numpy-less installs.
+        from repro.netmodel.packet import PacketNetwork
+
+        return _strict("netmodel packet", PacketNetwork)(*args, **options)
+
+    def _soa(attr: str) -> Callable[[], Callable[..., Any]]:
+        def load() -> Callable[..., Any]:
+            from repro.netmodel import soa
+
+            return getattr(soa, attr)
+
+        return load
+
     registry.register(
-        "netmodel", "backplane", _strict("netmodel backplane", BackplaneStarNetwork)
+        "netmodel", "star",
+        _strict("netmodel star", EqualShareStarNetwork),
+        description="equal-share star, the paper's model (scalar backend)",
     )
-    registry.register("netmodel", "analytic", _strict("netmodel analytic", AnalyticNetwork))
+    registry.register(
+        "netmodel", "maxmin",
+        _strict("netmodel maxmin", MaxMinStarNetwork),
+        description="max-min fair star, incremental water-fill (scalar backend)",
+    )
+    registry.register(
+        "netmodel", "packet",
+        packet_scalar,
+        description="chunked noisy testbed network (scalar backend)",
+    )
+    registry.register(
+        "netmodel", "backplane",
+        _strict("netmodel backplane", BackplaneStarNetwork),
+        description="star with a shared-backplane cap (scalar backend)",
+    )
+    registry.register(
+        "netmodel", "analytic",
+        _strict("netmodel analytic", AnalyticNetwork),
+        description="contention-free closed-form latency+size (scalar backend)",
+    )
+    registry.register(
+        "netmodel", "star-soa",
+        _soa_or_scalar(
+            "netmodel star-soa",
+            _soa("EqualShareStarNetworkSoA"),
+            _strict("netmodel star-soa", EqualShareStarNetwork),
+        ),
+        description="equal-share star over numpy arrays (soa backend)",
+    )
+    registry.register(
+        "netmodel", "maxmin-soa",
+        _soa_or_scalar(
+            "netmodel maxmin-soa",
+            _soa("MaxMinStarNetworkSoA"),
+            _strict("netmodel maxmin-soa", MaxMinStarNetwork),
+        ),
+        description="max-min fair star over numpy arrays (soa backend)",
+    )
+    registry.register(
+        "netmodel", "packet-soa",
+        _soa_or_scalar(
+            "netmodel packet-soa", _soa("PacketNetworkSoA"), packet_scalar
+        ),
+        description="chunked noisy network over numpy arrays (soa backend)",
+    )
 
 
 def _install_cpumodels(registry: Registry) -> None:
     from repro.cpumodel.commcost import CommCostModel
     from repro.cpumodel.shared import SharedCpuModel
-    from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
 
     def shared(kernel: Any, platform: Any, **options: Any) -> Any:
         return _strict("cpumodel shared", SharedCpuModel)(
@@ -183,12 +271,67 @@ def _install_cpumodels(registry: Registry) -> None:
         )
 
     def timeslice(kernel: Any, platform: Any, **options: Any) -> Any:
+        # Lazy: the timeslice model seeds its OS noise through numpy's
+        # RNG, and the registry must import on numpy-less installs.
+        from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+
         return _strict("cpumodel timeslice", TimesliceCpuModel)(
             kernel, TimesliceParams(), **options
         )
 
-    registry.register("cpumodel", "shared", shared)
-    registry.register("cpumodel", "timeslice", timeslice)
+    def shared_soa(kernel: Any, platform: Any, **options: Any) -> Any:
+        def load() -> Any:
+            from repro.cpumodel.soa import SharedCpuModelSoA
+
+            return SharedCpuModelSoA
+
+        factory = _soa_or_scalar(
+            "cpumodel shared-soa",
+            load,
+            _strict("cpumodel shared-soa", SharedCpuModel),
+        )
+        return factory(kernel, CommCostModel(platform.comm_cost), **options)
+
+    def timeslice_soa(kernel: Any, platform: Any, **options: Any) -> Any:
+        def load() -> Any:
+            from repro.cpumodel.soa import TimesliceCpuModelSoA
+
+            return TimesliceCpuModelSoA
+
+        def scalar(*args: Any, **kw: Any) -> Any:
+            from repro.cpumodel.timeslice import TimesliceCpuModel
+
+            return _strict("cpumodel timeslice-soa", TimesliceCpuModel)(
+                *args, **kw
+            )
+
+        # Both backends default their TimesliceParams internally, so the
+        # hint still fires before any numpy-needing import on the
+        # fallback path.
+        return _soa_or_scalar("cpumodel timeslice-soa", load, scalar)(
+            kernel, **options
+        )
+
+    registry.register(
+        "cpumodel", "shared",
+        shared,
+        description="even-share fluid CPU, the paper's model (scalar backend)",
+    )
+    registry.register(
+        "cpumodel", "timeslice",
+        timeslice,
+        description="noisy overhead-laden testbed CPU (scalar backend)",
+    )
+    registry.register(
+        "cpumodel", "shared-soa",
+        shared_soa,
+        description="even-share fluid CPU over numpy arrays (soa backend)",
+    )
+    registry.register(
+        "cpumodel", "timeslice-soa",
+        timeslice_soa,
+        description="noisy testbed CPU over numpy arrays (soa backend)",
+    )
 
 
 # --------------------------------------------------------------------------

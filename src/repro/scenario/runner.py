@@ -335,10 +335,12 @@ def run_testbed(spec: ScenarioSpec, registry: Registry) -> RunRecord:
     trace = TraceLevel[str(engine_options.pop("trace_level", "SUMMARY")).upper()]
     incremental = bool(engine_options.pop("incremental", True))
     verify_incremental = bool(engine_options.pop("verify_incremental", False))
+    backend = str(engine_options.pop("backend", "scalar"))
     if engine_options:
         raise ConfigurationError(
             f"unknown testbed engine options {sorted(engine_options)}; "
-            "valid: ['trace_level', 'incremental', 'verify_incremental']"
+            "valid: ['trace_level', 'incremental', 'verify_incremental', "
+            "'backend']"
         )
     cluster = VirtualCluster(num_nodes=cfg.num_nodes, seed=spec.engine.seed)
     executor = TestbedExecutor(
@@ -347,6 +349,7 @@ def run_testbed(spec: ScenarioSpec, registry: Registry) -> RunRecord:
         trace_level=trace,
         incremental=incremental,
         verify_incremental=verify_incremental,
+        backend=backend,
     )
     app = plugin.build(cfg)
     measurement = executor.run(app)

@@ -26,7 +26,10 @@ import time
 from collections import defaultdict
 from typing import Any, Callable, Mapping, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # no-numpy install: this module fails at use, not import
+    np = None  # type: ignore[assignment]
 
 from repro.cpumodel.machines import MachineProfile
 from repro.dps.operations import Compute, KernelSpec, OperationContext

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import zlib
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # degraded no-numpy install: fail at .rng() call time
+    np = None  # type: ignore[assignment]
 
 
 def _label_key(label: str) -> int:
@@ -36,8 +39,13 @@ class SeedSequenceFactory:
         """The root seed this factory was built from."""
         return self._root
 
-    def rng(self, label: str) -> np.random.Generator:
+    def rng(self, label: str) -> "np.random.Generator":
         """Return a :class:`numpy.random.Generator` keyed by ``label``."""
+        if np is None:
+            raise ImportError(
+                "numpy is required for seeded noise streams; "
+                "install the 'fast' extra (pip install repro[fast])"
+            )
         ss = np.random.SeedSequence([self._root, _label_key(label)])
         return np.random.Generator(np.random.PCG64(ss))
 

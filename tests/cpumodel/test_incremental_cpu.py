@@ -18,6 +18,17 @@ from repro.des.kernel import Kernel
 from repro.netmodel.params import NetworkParams
 from repro.netmodel.star import EqualShareStarNetwork
 
+try:
+    import numpy  # noqa: F401
+    HAS_NUMPY = True
+except ImportError:
+    HAS_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="seeded noise streams need numpy"
+)
+
+
 #: Deterministic knobs (noise off) keep the inc/full comparison exact even
 #: under heavy churn; noise is covered by the seeded-equivalence test below.
 QUIET = TimesliceParams(csw_overhead=0.05, noise_sigma=0.0)
@@ -65,6 +76,7 @@ submission_strategy = st.lists(
 )
 
 
+@requires_numpy
 @settings(deadline=None, max_examples=40)
 @given(submission_strategy)
 def test_timeslice_incremental_matches_full_shadow(submissions):
@@ -80,6 +92,7 @@ def test_timeslice_incremental_matches_full_shadow(submissions):
     assert cpu.allocator.stats.verify_recomputes > 0
 
 
+@requires_numpy
 @settings(deadline=None, max_examples=25)
 @given(submission_strategy)
 def test_timeslice_shadow_with_network_coupling(submissions):
@@ -95,6 +108,7 @@ def test_timeslice_shadow_with_network_coupling(submissions):
     assert cpu.allocator.stats.incremental_updates > 0
 
 
+@requires_numpy
 @settings(deadline=None, max_examples=25)
 @given(submission_strategy)
 def test_timeslice_incremental_end_to_end_equivalence(submissions):
@@ -113,6 +127,7 @@ def test_timeslice_incremental_end_to_end_equivalence(submissions):
         assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
 
 
+@requires_numpy
 def test_timeslice_updates_touch_one_host_only(kernel):
     """Steps on distinct hosts are independent slice groups: each arrival
     re-rates only its own host's steps."""
@@ -125,6 +140,7 @@ def test_timeslice_updates_touch_one_host_only(kernel):
     kernel.run()
 
 
+@requires_numpy
 def test_timeslice_overhead_law_survives_incremental(kernel):
     """The multiprogramming-overhead rate law must be unchanged: two steps
     on one host finish at 2 * (1 + csw) with csw overhead."""
@@ -138,6 +154,7 @@ def test_timeslice_overhead_law_survives_incremental(kernel):
     assert done[0] == pytest.approx(2.0 * 1.1, rel=1e-6)
 
 
+@requires_numpy
 def test_shared_and_timeslice_agree_without_overhead(kernel):
     """With csw_overhead=0 and no noise the timeslice law reduces to the
     paper's even share — the two allocator families must agree."""

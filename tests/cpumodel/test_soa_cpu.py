@@ -1,0 +1,123 @@
+"""The numpy structure-of-arrays CPU backend vs the scalar reference.
+
+Same equivalence contract as ``tests/netmodel/test_soa.py``: for any
+submission sequence — including network-coupled runs where transfer
+activity moves the available power mid-step — the SoA models produce
+completion times equal to the scalar models' within 1e-9 relative, and
+``verify_incremental=True`` shadows every solve with a scalar recompute.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.cpumodel.shared import SharedCpuModel
+from repro.cpumodel.soa import SharedCpuModelSoA, TimesliceCpuModelSoA
+from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
+from repro.des.kernel import Kernel
+from repro.netmodel.params import NetworkParams
+from repro.netmodel.star import EqualShareStarNetwork
+
+
+def _drive(cpu_factory, submissions, with_network=False):
+    """Submit (time, node, work) steps; return completion times."""
+    kernel = Kernel()
+    cpu = cpu_factory(kernel)
+    if with_network:
+        net = EqualShareStarNetwork(kernel, NetworkParams(latency=0.0, bandwidth=1e6))
+        cpu.attach_network(net)
+        rng = random.Random(9)
+        for i in range(10):
+            kernel.schedule(
+                rng.uniform(0.0, 2.0),
+                net.submit,
+                rng.randrange(4),
+                4 + rng.randrange(4),
+                rng.uniform(1e5, 1e6),
+                lambda tr: None,
+            )
+    completions = {}
+
+    def submit(index, node, work):
+        cpu.submit(node, work, lambda h: completions.setdefault(index, kernel.now))
+
+    for i, (time, node, work) in enumerate(submissions):
+        kernel.schedule(time, submit, i, node, work)
+    kernel.run()
+    assert len(completions) == len(submissions)
+    return [completions[i] for i in range(len(submissions))], cpu
+
+
+submission_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),    # submit time
+        st.integers(min_value=0, max_value=3),      # node
+        st.floats(min_value=0.01, max_value=2.0),   # work
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(submission_strategy)
+def test_shared_soa_shadow_verifies_every_solve(submissions):
+    times, cpu = _drive(
+        lambda kernel: SharedCpuModelSoA(kernel, verify_incremental=True),
+        submissions,
+    )
+    stats = cpu.allocator.stats
+    assert stats.incremental_updates > 0
+    assert stats.verify_recomputes > 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(submission_strategy)
+def test_shared_soa_matches_scalar(submissions):
+    soa_times, _ = _drive(lambda kernel: SharedCpuModelSoA(kernel), submissions)
+    scalar_times, _ = _drive(lambda kernel: SharedCpuModel(kernel), submissions)
+    for a, b in zip(soa_times, scalar_times):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+@settings(deadline=None, max_examples=25)
+@given(submission_strategy)
+def test_timeslice_soa_matches_scalar_with_noise_and_network(submissions):
+    """Full ground-truth configuration: seeded lognormal noise AND network
+    coupling.  The SoA model draws from the same stream in the same order,
+    so completion times are identical."""
+    soa_times, _ = _drive(
+        lambda kernel: TimesliceCpuModelSoA(kernel, TimesliceParams(), seed=7),
+        submissions,
+        with_network=True,
+    )
+    scalar_times, _ = _drive(
+        lambda kernel: TimesliceCpuModel(kernel, TimesliceParams(), seed=7),
+        submissions,
+        with_network=True,
+    )
+    for a, b in zip(soa_times, scalar_times):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+@settings(deadline=None, max_examples=20)
+@given(submission_strategy)
+def test_timeslice_soa_shadow_with_network_coupling(submissions):
+    times, cpu = _drive(
+        lambda kernel: TimesliceCpuModelSoA(
+            kernel, TimesliceParams(), seed=7, verify_incremental=True
+        ),
+        submissions,
+        with_network=True,
+    )
+    assert cpu.allocator.stats.verify_recomputes > 0
+
+
+def test_soa_rejects_negative_work():
+    kernel = Kernel()
+    cpu = SharedCpuModelSoA(kernel)
+    with pytest.raises(Exception):
+        cpu.submit(0, -1.0, lambda h: None)

@@ -5,6 +5,17 @@ import pytest
 from repro.cpumodel.timeslice import TimesliceCpuModel, TimesliceParams
 from repro.des.kernel import Kernel
 
+try:
+    import numpy  # noqa: F401
+    HAS_NUMPY = True
+except ImportError:
+    HAS_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="seeded noise streams need numpy"
+)
+
+
 
 def run_two_steps(seed: int, csw: float = 0.1, noise: float = 0.0):
     kernel = Kernel()
@@ -18,6 +29,7 @@ def run_two_steps(seed: int, csw: float = 0.1, noise: float = 0.0):
     return done
 
 
+@requires_numpy
 def test_multiprogramming_overhead_slows_aggregate():
     done = run_two_steps(seed=0, csw=0.1, noise=0.0)
     # Fluid ideal would finish both at t=2; the overheadful model later.
@@ -25,6 +37,7 @@ def test_multiprogramming_overhead_slows_aggregate():
     assert done[0] == pytest.approx(2.0 * 1.1, rel=1e-6)
 
 
+@requires_numpy
 def test_single_step_pays_no_overhead():
     kernel = Kernel()
     cpu = TimesliceCpuModel(
@@ -36,6 +49,7 @@ def test_single_step_pays_no_overhead():
     assert done == [pytest.approx(1.0)]
 
 
+@requires_numpy
 def test_noise_is_seeded_and_reproducible():
     a = run_two_steps(seed=3, noise=0.05)
     b = run_two_steps(seed=3, noise=0.05)
@@ -44,6 +58,7 @@ def test_noise_is_seeded_and_reproducible():
     assert a != c
 
 
+@requires_numpy
 def test_noise_perturbs_durations():
     clean = run_two_steps(seed=5, noise=0.0)
     noisy = run_two_steps(seed=5, noise=0.05)

@@ -8,6 +8,17 @@ from repro.netmodel.calibration import calibrate
 from repro.netmodel.packet import PacketNetwork, PacketNetworkParams
 from repro.netmodel.params import NetworkParams
 
+try:
+    import numpy  # noqa: F401
+    HAS_NUMPY = True
+except ImportError:
+    HAS_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="seeded noise streams need numpy"
+)
+
+
 
 PARAMS = NetworkParams(latency=5e-5, bandwidth=1.25e7, per_object_overhead=0.0)
 
@@ -23,6 +34,7 @@ def test_analytic_ignores_contention(kernel):
         assert done[i] == pytest.approx(1.0 + 5e-5)
 
 
+@requires_numpy
 def test_packet_network_is_reproducible():
     times = []
     for _ in range(2):
@@ -33,6 +45,7 @@ def test_packet_network_is_reproducible():
     assert times[0] == times[1]
 
 
+@requires_numpy
 def test_packet_seed_changes_outcome():
     times = []
     for seed in (1, 2):
@@ -43,6 +56,7 @@ def test_packet_seed_changes_outcome():
     assert times[0] != times[1]
 
 
+@requires_numpy
 def test_packet_slower_than_ideal():
     """Chunking + ramp-up must make the ground truth slower than l+s/b."""
     kernel = Kernel()
@@ -60,6 +74,7 @@ def test_packet_params_validation():
         PacketNetworkParams(ramp_factor=0.0)
 
 
+@requires_numpy
 def test_calibration_recovers_analytic_params():
     res = calibrate(lambda k: AnalyticNetwork(k, PARAMS))
     assert res.latency == pytest.approx(PARAMS.latency, rel=1e-6, abs=1e-9)
@@ -67,6 +82,7 @@ def test_calibration_recovers_analytic_params():
     assert res.residual_rms < 1e-9
 
 
+@requires_numpy
 def test_calibration_of_packet_network_is_close():
     res = calibrate(
         lambda k: PacketNetwork(k, PARAMS, seed=5), repetitions=5
@@ -77,6 +93,7 @@ def test_calibration_of_packet_network_is_close():
     assert res.latency > PARAMS.latency
 
 
+@requires_numpy
 def test_calibration_as_params_roundtrip():
     res = calibrate(lambda k: AnalyticNetwork(k, PARAMS))
     p = res.as_params()

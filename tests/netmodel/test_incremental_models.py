@@ -23,6 +23,17 @@ from repro.netmodel.backplane import BackplaneStarNetwork
 from repro.netmodel.packet import PacketNetwork
 from repro.netmodel.params import NetworkParams
 
+try:
+    import numpy  # noqa: F401
+    HAS_NUMPY = True
+except ImportError:
+    HAS_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="seeded noise streams need numpy"
+)
+
+
 
 def _drive(net_factory, arrivals):
     """Submit (time, src, dst, size) arrivals; return completion times."""
@@ -57,6 +68,7 @@ PARAMS = NetworkParams(latency=1e-4, bandwidth=1e6)
 TIGHT_BACKPLANE = 1.5e6
 
 
+@requires_numpy
 @settings(deadline=None, max_examples=40)
 @given(arrival_strategy)
 def test_packet_incremental_matches_full_shadow(arrivals):
@@ -80,6 +92,7 @@ def test_backplane_incremental_matches_full_shadow(arrivals):
     assert net.allocator.stats.incremental_updates > 0
 
 
+@requires_numpy
 @settings(deadline=None, max_examples=25)
 @given(arrival_strategy)
 def test_packet_incremental_end_to_end_equivalence(arrivals):
@@ -143,6 +156,7 @@ def test_backplane_congestion_rerates_every_flow(kernel):
     kernel.run()
 
 
+@requires_numpy
 def test_packet_incremental_beats_full_on_disjoint_flows(kernel):
     """Disjoint flow pairs are singleton water-fill components: every
     arrival re-rates exactly one flow, and departures re-rate none (the

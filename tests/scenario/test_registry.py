@@ -59,9 +59,12 @@ class TestDefaultRegistry:
             "imgpipe", "lu", "matmul", "sort", "stencil",
         ]
         assert registry.names("netmodel") == [
-            "analytic", "backplane", "maxmin", "packet", "star",
+            "analytic", "backplane", "maxmin", "maxmin-soa",
+            "packet", "packet-soa", "star", "star-soa",
         ]
-        assert registry.names("cpumodel") == ["shared", "timeslice"]
+        assert registry.names("cpumodel") == [
+            "shared", "shared-soa", "timeslice", "timeslice-soa",
+        ]
         assert registry.names("engine") == ["server", "sim", "testbed"]
         assert registry.names("workload") == [
             "bursty", "diurnal", "lu", "mixed", "poisson", "trace",
@@ -75,6 +78,11 @@ class TestDefaultRegistry:
         registry = default_registry()
         assert "MMPP" in registry.describe("workload", "bursty")
         assert "admission" in registry.describe("policy", "admission")
+        # `repro scenarios list` prints these: every model names its backend.
+        assert "scalar backend" in registry.describe("netmodel", "maxmin")
+        assert "soa backend" in registry.describe("netmodel", "maxmin-soa")
+        assert "scalar backend" in registry.describe("cpumodel", "timeslice")
+        assert "soa backend" in registry.describe("cpumodel", "shared-soa")
         assert registry.describe("engine", "sim") == ""
         with pytest.raises(ConfigurationError, match="unknown workload"):
             registry.describe("workload", "nope")

@@ -25,6 +25,9 @@ from repro.sim.simulator import DPSSimulator
 from repro.testbed.cluster import VirtualCluster
 from repro.testbed.executor import TestbedExecutor
 
+# Every scenario here runs a real app (LU kernels etc.) — numpy territory.
+pytest.importorskip("numpy")
+
 LU_OPTIONS = {"n": 192, "r": 48, "num_threads": 4, "num_nodes": 2}
 
 

@@ -15,6 +15,9 @@ from repro.scenario import (
 )
 from repro.sim.modes import SimulationMode
 
+# Every scenario here runs a real app (LU kernels etc.) — numpy territory.
+pytest.importorskip("numpy")
+
 LU_OPTIONS = {"n": 192, "r": 48, "num_threads": 4, "num_nodes": 2}
 
 
