@@ -1,0 +1,181 @@
+"""Load generator and acceptance gates for the scenario service.
+
+Drives an in-process ``repro serve`` (:class:`repro.service.server.ServiceThread`)
+with N concurrent blocking clients over a dup-heavy scenario corpus, and
+gates the resident-pool architecture against the naive alternative:
+
+* **throughput gate** — the service must sustain at least
+  ``MIN_SPEEDUP``x (default 5x) the request rate of a cold per-request
+  subprocess (``python -m repro run spec.json``, a fresh interpreter and
+  imports per request — what "no daemon" actually costs);
+* **latency gate** — the server-side p99 job latency reported by
+  ``GET /stats`` must stay under ``P99_BOUND_S``.
+
+Environment overrides (CI smoke uses ``--smoke``):
+
+=============================  =======================================
+``REPRO_SERVICE_BENCH_CLIENTS``        concurrent clients (default 16)
+``REPRO_SERVICE_BENCH_REQUESTS``       requests per client
+``REPRO_SERVICE_BENCH_MIN_SPEEDUP``    throughput gate multiplier
+``REPRO_SERVICE_BENCH_P99_BOUND``      latency gate in seconds
+=============================  =======================================
+
+Run standalone (``python benchmarks/bench_service.py [--smoke]``) or via
+pytest (``test_service_load_gates``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import ServiceClient, ServiceThread  # noqa: E402
+
+CLIENTS = int(os.environ.get("REPRO_SERVICE_BENCH_CLIENTS", "16"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_SERVICE_BENCH_MIN_SPEEDUP", "5.0"))
+
+#: Distinct scenarios in the corpus; every client cycles through them,
+#: so concurrent requests constantly collide on in-flight jobs.
+UNIQUE_SPECS = 4
+
+
+def _corpus() -> list[dict]:
+    """Small deterministic cluster-server scenarios (milliseconds each)."""
+    return [
+        {
+            "name": f"bench-svc-{seed}",
+            "app": {"name": "lu"},
+            "engine": {"name": "server", "seed": seed},
+            "cluster": {
+                "nodes": 12,
+                "jobs": 8,
+                "interarrival": 20.0,
+                "policy": "adaptive",
+            },
+        }
+        for seed in range(1, UNIQUE_SPECS + 1)
+    ]
+
+
+def measure_cold_subprocess(spec: dict, runs: int = 2) -> float:
+    """Seconds per request without a daemon: one subprocess per scenario."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False, encoding="utf-8"
+    ) as handle:
+        json.dump(spec, handle)
+        path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    try:
+        start = time.perf_counter()
+        for _ in range(runs):
+            subprocess.run(
+                [sys.executable, "-m", "repro", "run", path],
+                cwd=REPO_ROOT,
+                env=env,
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        return (time.perf_counter() - start) / runs
+    finally:
+        os.unlink(path)
+
+
+def run_service_load(
+    clients: int, requests_per_client: int
+) -> tuple[float, dict]:
+    """Dup-heavy concurrent load; returns (elapsed_s, final /stats)."""
+    corpus = _corpus()
+    with ServiceThread(workers=None, mode="thread", queue_limit=256) as thread:
+        client = ServiceClient(port=thread.port, timeout=300.0)
+
+        def one_client(client_index: int) -> None:
+            for request_index in range(requests_per_client):
+                spec = corpus[(client_index + request_index) % len(corpus)]
+                record = client.run(spec)
+                assert record["engine"] == "server", record
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for future in [
+                pool.submit(one_client, index) for index in range(clients)
+            ]:
+                future.result()
+        elapsed = time.perf_counter() - start
+        stats = client.stats()
+    return elapsed, stats
+
+
+def run_bench(smoke: bool = False) -> dict:
+    requests_per_client = int(
+        os.environ.get("REPRO_SERVICE_BENCH_REQUESTS", "4" if smoke else "16")
+    )
+    p99_bound = float(
+        os.environ.get(
+            "REPRO_SERVICE_BENCH_P99_BOUND", "2.0" if smoke else "1.0"
+        )
+    )
+    corpus = _corpus()
+
+    cold_s = measure_cold_subprocess(corpus[0], runs=1 if smoke else 2)
+    cold_throughput = 1.0 / cold_s
+
+    total_requests = CLIENTS * requests_per_client
+    elapsed, stats = run_service_load(CLIENTS, requests_per_client)
+    throughput = total_requests / elapsed
+    speedup = throughput / cold_throughput
+    p99 = stats["latency"]["p99_s"]
+
+    counters = stats["counters"]
+    report = {
+        "clients": CLIENTS,
+        "requests": total_requests,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(throughput, 1),
+        "cold_subprocess_s": round(cold_s, 3),
+        "cold_throughput_rps": round(cold_throughput, 2),
+        "speedup_vs_cold": round(speedup, 1),
+        "p99_s": p99,
+        "p99_bound_s": p99_bound,
+        "executed": counters["executed"],
+        "deduplicated": counters["deduplicated"],
+        "failed": counters["failed"],
+    }
+    print(json.dumps(report, indent=2))
+
+    assert counters["failed"] == 0, f"requests failed under load: {counters}"
+    assert counters["completed"] == counters["submitted"]
+    # Dedup must actually fire under a dup-heavy corpus: far fewer
+    # executions than requests.
+    assert counters["executed"] < total_requests, (
+        f"no dedup: {counters['executed']} executions for "
+        f"{total_requests} requests"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"service throughput {throughput:.1f} rps is only {speedup:.1f}x the "
+        f"cold per-request subprocess ({cold_throughput:.2f} rps); "
+        f"gate is {MIN_SPEEDUP}x"
+    )
+    assert p99 is not None and p99 <= p99_bound, (
+        f"server-side p99 {p99}s exceeds the {p99_bound}s bound"
+    )
+    return report
+
+
+def test_service_load_gates():
+    """Pytest entry: the smoke-scaled gates (CI runs the script form)."""
+    run_bench(smoke=True)
+
+
+if __name__ == "__main__":
+    run_bench(smoke="--smoke" in sys.argv[1:])

@@ -23,13 +23,29 @@ path.
 Results are returned in case order and are identical to a serial
 :func:`~repro.analysis.sweep.sweep` — the simulations are deterministic and
 share no state across cases.
+
+Two pool lifetimes are supported.  The historical **one-shot** form
+(``persistent=False``, the default) creates the process pool inside each
+``run``/``run_records`` call and tears it down before returning — exactly
+the old behavior.  The **resident** form (``persistent=True``) keeps the
+workers alive across calls, which is what a long-lived service wants:
+worker processes keep their warm in-process calibration memos and their
+imported module state, so repeated scenarios are mostly cache hits.
+Resident runners additionally accept asynchronous single-spec submissions
+via :meth:`ParallelSweepRunner.submit_record` (the primitive
+:class:`repro.service.pool.ResidentPool` builds on).  ``close``/``join``
+are idempotent and fully release the pool — worker processes and their
+handles on the on-disk cache directory are torn down — so a runner can be
+closed and restarted any number of times in one process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
-from typing import Optional
+import signal
+from typing import Callable, Optional
 
 from repro.analysis.prediction import PredictionStudy
 from repro.dps.trace import TraceLevel
@@ -70,6 +86,31 @@ def clear_platform_cache() -> None:
 
 
 # -------------------------------------------------------------- worker side
+def _worker_exit_cleanly(signum, frame):
+    # SystemExit unwinds the worker's ``with inqueue._rlock:`` block, so
+    # the shared queue lock is released on the way out (a raw
+    # signal-death strands it, see _worker_ignore_signals).
+    raise SystemExit(0)
+
+
+def _worker_ignore_signals() -> None:
+    """Pool-worker initializer: shutdown signals must not strand locks.
+
+    Ctrl-C and service managers (systemd, ``timeout``) deliver
+    SIGINT/SIGTERM to the whole process group, workers included.  An
+    idle worker sits blocked on the pool's task queue *holding the
+    queue's reader lock*; dying abruptly there leaves the lock acquired
+    forever, and the parent's ``Pool.terminate`` then deadlocks in
+    ``_help_stuff_finish`` waiting for it.  So workers ignore SIGINT
+    outright (interruption is the parent's decision) and turn SIGTERM
+    into a ``SystemExit`` that releases the lock on exit — which also
+    keeps them reapable by ``Pool.terminate``'s own SIGTERM.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, _worker_exit_cleanly)
+
+
 def _calibrate_worker(key: PlatformKey) -> tuple[PlatformKey, PlatformSpec]:
     return key, cached_platform(key)
 
@@ -94,6 +135,19 @@ def _record_worker(payload):
     return index, run_scenario(spec).without_raw()
 
 
+def _spec_record_worker(payload: dict) -> dict:
+    """Run one spec (dict form) and return the record's wire-format dict.
+
+    The service's process-mode workers speak dicts in both directions:
+    the spec's canonical dict form in, ``RunRecord.to_dict()`` out —
+    both JSON-clean, so nothing engine-native ever crosses the pool.
+    """
+    from repro.scenario import run_scenario
+    from repro.scenario.spec import ScenarioSpec
+
+    return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()
+
+
 class ParallelSweepRunner:
     """Run sweep cases across a process pool with shared calibrations.
 
@@ -105,6 +159,11 @@ class ParallelSweepRunner:
     trace_level, keep_runs:
         Forwarded to :func:`~repro.analysis.sweep.run_lu_case`.  Run records
         requested via ``keep_runs`` must survive pickling when ``jobs > 1``.
+    persistent:
+        Keep the worker pool alive across calls (resident-executor mode).
+        The caller owns the lifetime: call :meth:`close` (idempotent) or
+        use the runner as a context manager.  One-shot runners (the
+        default) still create and destroy a pool per call.
     """
 
     def __init__(
@@ -112,12 +171,90 @@ class ParallelSweepRunner:
         jobs: Optional[int] = None,
         trace_level: TraceLevel = TraceLevel.SUMMARY,
         keep_runs: bool = False,
+        persistent: bool = False,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ConfigurationError(f"jobs must be >= 0, got {jobs!r}")
         self.jobs = jobs or os.cpu_count() or 1
         self.trace_level = trace_level
         self.keep_runs = keep_runs
+        self.persistent = persistent
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------- pool lifetime
+    def _ensure_pool(
+        self, size_hint: Optional[int] = None
+    ) -> multiprocessing.pool.Pool:
+        """The live worker pool, created on first use.
+
+        Persistent runners size the pool at ``jobs`` once and reuse it;
+        one-shot calls pass a ``size_hint`` so tiny batches do not fork
+        more workers than they have cases (the historical behavior).
+        """
+        if self._pool is None:
+            processes = self.jobs
+            if not self.persistent and size_hint is not None:
+                processes = max(1, min(self.jobs, size_hint))
+            self._pool = multiprocessing.Pool(
+                processes=processes, initializer=_worker_ignore_signals
+            )
+        return self._pool
+
+    def close(self, terminate: bool = False) -> None:
+        """Tear the worker pool down; safe to call repeatedly.
+
+        Joins (or, with ``terminate=True``, kills) every worker process,
+        which releases their handles on the on-disk calibration and
+        kernel-benchmark cache directory — after ``close`` the runner
+        holds no process or file resources, and the next ``run``/
+        ``submit_record`` transparently forks a fresh pool, so resident
+        runners restart cleanly any number of times in one process.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+
+    def join(self) -> None:
+        """Alias for :meth:`close` — both are idempotent, in any order."""
+        self.close()
+
+    def __enter__(self) -> "ParallelSweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------- async submissions
+    def submit_record(
+        self,
+        spec,
+        callback: Optional[Callable[[dict], None]] = None,
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ) -> "multiprocessing.pool.AsyncResult":
+        """Submit one scenario for asynchronous execution on the pool.
+
+        The resident-executor primitive: the spec runs on a (persistent)
+        worker and the returned ``AsyncResult`` resolves to the record's
+        JSON-ready dict (``RunRecord.to_dict()``).  ``callback`` /
+        ``error_callback`` fire on the pool's result-handler thread, like
+        :meth:`multiprocessing.pool.Pool.apply_async`.  Unlike the batch
+        entry points this always uses a pool, even at ``jobs == 1``.
+        """
+        from repro.scenario.spec import ScenarioSpec
+
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        return self._ensure_pool().apply_async(
+            _spec_record_worker,
+            (spec.to_dict(),),
+            callback=callback,
+            error_callback=error_callback,
+        )
 
     def run(
         self,
@@ -145,7 +282,8 @@ class ParallelSweepRunner:
                     (i, case, case_platform(case), self.trace_level, self.keep_runs)
                 )
         else:
-            with multiprocessing.Pool(processes=min(self.jobs, len(cases))) as pool:
+            pool = self._ensure_pool(len(cases))
+            try:
                 if platform is None:
                     # Calibrate each distinct platform once, in parallel, and
                     # memoize in the parent so later runs reuse them for free.
@@ -159,6 +297,9 @@ class ParallelSweepRunner:
                 ]
                 for index, result in pool.imap_unordered(_case_worker, payloads):
                     results[index] = result
+            finally:
+                if not self.persistent:
+                    self.close()
         if study is not None:
             for result in results:
                 study.add(result.case.label, result.measured, result.predicted)
@@ -186,7 +327,8 @@ class ParallelSweepRunner:
             for i, spec in enumerate(specs):
                 results[i] = run_scenario(spec).without_raw()
             return results
-        with multiprocessing.Pool(processes=min(self.jobs, len(specs))) as pool:
+        pool = self._ensure_pool(len(specs))
+        try:
             keys = sorted(
                 {
                     key
@@ -202,4 +344,7 @@ class ParallelSweepRunner:
             payloads = list(enumerate(specs))
             for index, record in pool.imap_unordered(_record_worker, payloads):
                 results[index] = record
+        finally:
+            if not self.persistent:
+                self.close()
         return results

@@ -18,6 +18,8 @@ Commands
 * ``graph`` — dump an application's flow-graph structure.
 * ``server`` — cluster-level scheduling of malleable jobs (paper §9);
   ``--shards K`` partitions one scenario over K shard kernels.
+* ``serve`` — long-lived scenario service: HTTP/JSON daemon over a
+  resident worker pool with in-flight dedup and 429 backpressure.
 * ``trend`` — render nightly benchmark artifacts into a static trend
   page; ``--alert-threshold`` gates on first→last regressions.
 """
@@ -36,6 +38,7 @@ from repro.cli.apps import (
 )
 from repro.cli.scenarios import add_run_parser, add_scenarios_parser
 from repro.cli.server import add_server_parser
+from repro.cli.service import add_serve_parser
 from repro.cli.tools import (
     add_cache_parser,
     add_calibrate_parser,
@@ -69,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_parser(sub)
     add_graph_parser(sub)
     add_server_parser(sub)
+    add_serve_parser(sub)
     add_trend_parser(sub)
     return parser
 

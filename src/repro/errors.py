@@ -61,3 +61,17 @@ class CostModelError(ReproError):
 
 class VerificationError(ReproError):
     """A numerical result failed verification (e.g. P@A != L@U)."""
+
+
+class ServiceError(ReproError):
+    """An HTTP error response from the scenario service (``repro serve``).
+
+    Raised by :class:`repro.service.client.ServiceClient` for any non-2xx
+    response; ``status`` is the HTTP status code and ``message`` the
+    server's ``error`` text (the configuration loader's message for 400s).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message

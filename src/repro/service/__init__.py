@@ -1,0 +1,35 @@
+"""The scenario service: ``repro serve`` as a long-lived daemon.
+
+A stdlib-only asyncio HTTP/JSON front end
+(:class:`~repro.service.server.ScenarioService`) over a resident worker
+pool (:class:`~repro.service.pool.ResidentPool`): clients POST canonical
+:class:`~repro.scenario.spec.ScenarioSpec` dicts and receive normalized
+:class:`~repro.scenario.runner.RunRecord` JSON, with in-flight
+deduplication by canonical spec key, bounded-queue backpressure (429),
+priorities, queued-job cancellation, and warm shared caches across
+requests.  See ``docs/service.md`` for the HTTP contract.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobTable, canonical_spec, spec_key
+from repro.service.pool import (
+    PoolClosedError,
+    PoolSaturatedError,
+    PoolTicket,
+    ResidentPool,
+)
+from repro.service.server import ScenarioService, ServiceThread
+
+__all__ = [
+    "Job",
+    "JobTable",
+    "PoolClosedError",
+    "PoolSaturatedError",
+    "PoolTicket",
+    "ResidentPool",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceThread",
+    "canonical_spec",
+    "spec_key",
+]

@@ -1,0 +1,125 @@
+"""Blocking HTTP client for the scenario service (``repro serve``).
+
+:class:`ServiceClient` wraps :mod:`http.client` (stdlib only, one
+connection per request — matching the server's ``connection: close``
+contract) behind the handful of calls a driver needs: submit a scenario
+and wait for its record, poll or cancel a job, read health and stats.
+Non-2xx responses raise :class:`~repro.errors.ServiceError` carrying the
+server's status and error text, so a 400's message is exactly the
+configuration loader's complaint and a 429 is distinguishable from a
+real failure by ``exc.status``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import ServiceError
+from repro.scenario.spec import ScenarioSpec
+
+
+class ServiceClient:
+    """Talk to a running scenario service at ``host:port``.
+
+    ``timeout`` is the per-connection socket timeout in seconds (it
+    bounds how long one HTTP exchange may take, including a blocking
+    ``run`` — pass something generous for long simulations).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8421, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        expect: tuple = (200,),
+    ) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"content-type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            status = response.status
+            raw = response.read()
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if status not in expect:
+            raise ServiceError(status, payload.get("error", f"unexpected {status}"))
+        return status, payload, resp_headers
+
+    @staticmethod
+    def _spec_body(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> bytes:
+        payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    # ------------------------------------------------------------ endpoints
+    def run(
+        self,
+        spec: Union[ScenarioSpec, Mapping[str, Any]],
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Submit a scenario and block until its record is ready.
+
+        Returns the record's wire dict (= ``RunRecord.to_dict()``); the
+        job id that produced it is available via :meth:`run_with_job`.
+        ``timeout`` bounds the *server-side* wait (504 past it).
+        """
+        return self.run_with_job(spec, priority=priority, timeout=timeout)[0]
+
+    def run_with_job(
+        self,
+        spec: Union[ScenarioSpec, Mapping[str, Any]],
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> tuple[dict, str]:
+        """Like :meth:`run` but also returns the job id that served it.
+
+        Two calls returning the same job id were deduplicated into one
+        execution by the server.
+        """
+        query = f"?priority={priority}"
+        if timeout is not None:
+            query += f"&timeout={timeout}"
+        _, record, headers = self._request(
+            "POST", f"/run{query}", self._spec_body(spec)
+        )
+        return record, headers.get("x-repro-job", "")
+
+    def submit(
+        self, spec: Union[ScenarioSpec, Mapping[str, Any]], priority: int = 0
+    ) -> dict:
+        """Fire-and-poll submission: returns the job description (202)."""
+        _, payload, _ = self._request(
+            "POST", f"/run?wait=0&priority={priority}", self._spec_body(spec),
+            expect=(202,),
+        )
+        return payload
+
+    def job(self, job_id: str) -> dict:
+        """The current description of job ``job_id`` (404 if unknown)."""
+        return self._request("GET", f"/jobs/{job_id}")[1]
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job (409 once running or finished)."""
+        return self._request("DELETE", f"/jobs/{job_id}")[1]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")[1]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")[1]

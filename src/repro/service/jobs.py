@@ -1,0 +1,224 @@
+"""Job bookkeeping for the scenario service: states, dedup keys, counters.
+
+A *job* is one unique in-flight scenario execution.  Requests map onto
+jobs through the **canonical dedup key** (:func:`spec_key`): the SHA-256
+of the spec's canonical fully-expanded dict rendered as compact
+sorted-key JSON.  Because :meth:`~repro.scenario.spec.ScenarioSpec.to_dict`
+is a fixed point of the loader, every surface form of the same scenario —
+a partial dict relying on defaults, the TOML file, the JSON file, the
+fully-expanded canonical dict — hashes to the same key, and two specs
+with any semantic difference hash to different keys.  N identical
+requests arriving while a job is queued or running all attach to that one
+job and receive the same :class:`~repro.scenario.runner.RunRecord`; the
+scenario executes once.
+
+The :class:`JobTable` owns the id → job and key → in-flight-job maps plus
+the service counters (`submitted`, `deduplicated`, `rejected`, ...), and
+caps the finished-job history so a long-lived server's memory stays
+bounded by *active* jobs plus a fixed retention window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.scenario.spec import ScenarioSpec
+
+# Job lifecycle states (strings, straight onto the wire).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+def canonical_spec(payload: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
+    """Coerce a request payload into a validated :class:`ScenarioSpec`.
+
+    Dict payloads go through the unknown-key-rejecting loader, so a typo'd
+    section or field surfaces as a
+    :class:`~repro.errors.ConfigurationError` with the loader's own
+    message — the text the service returns verbatim in its 400 responses.
+    """
+    if isinstance(payload, ScenarioSpec):
+        return payload
+    return ScenarioSpec.from_dict(payload)
+
+
+def spec_key(payload: Union[ScenarioSpec, Mapping[str, Any]]) -> str:
+    """The canonical dedup key of a scenario (32 hex chars).
+
+    Hash of the canonical dict form, so TOML/JSON/dict/partial spellings
+    of one scenario collide by construction and semantically different
+    specs never do (modulo SHA-256).
+    """
+    spec = canonical_spec(payload)
+    blob = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class Job:
+    """One unique in-flight (or retained finished) scenario execution."""
+
+    id: str
+    key: str
+    spec: ScenarioSpec
+    priority: int = 0
+    submitted_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
+    record: Optional[dict] = None
+    error: Optional[str] = None
+    error_status: int = 500
+    #: Requests attached to this job (1 + dedup shares).
+    waiters: int = 1
+    #: The pool's execution handle (set by the server once dispatched).
+    ticket: Any = None
+    #: asyncio.Event the server sets on completion (loop-owned).
+    done: Any = None
+    _terminal: Optional[str] = None
+
+    @property
+    def state(self) -> str:
+        """The wire-visible lifecycle state.
+
+        Until the server records a terminal state, the job mirrors its
+        pool ticket: queued until a worker picks it up, running from then
+        on (a resolved-but-not-yet-processed ticket still reports
+        running — the record is not observable before the server says
+        done).
+        """
+        if self._terminal is not None:
+            return self._terminal
+        if self.ticket is not None:
+            ticket_state = self.ticket.state
+            if ticket_state == QUEUED:
+                return QUEUED
+            if ticket_state == CANCELLED:
+                return CANCELLED
+            return RUNNING
+        return QUEUED
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-finish latency in seconds (None while in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def describe(self) -> dict:
+        """The JSON payload of ``GET /jobs/<id>``."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "scenario": self.spec.name,
+            "key": self.key,
+            "priority": self.priority,
+            "waiters": self.waiters,
+        }
+        started = getattr(self.ticket, "started_at", None)
+        if started is not None:
+            out["queued_s"] = started - self.submitted_at
+        if self.latency_s is not None:
+            out["latency_s"] = self.latency_s
+        if self.record is not None:
+            out["record"] = self.record
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobTable:
+    """Id → job and dedup-key → in-flight-job maps, plus service counters.
+
+    Single-threaded by design: the service touches it only from the event
+    loop.  Finished jobs are retained (for ``GET /jobs/<id>`` polling) up
+    to ``history_limit``, oldest evicted first; an evicted id answers 404.
+    """
+
+    def __init__(self, history_limit: int = 256) -> None:
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history_limit = history_limit
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._finished: deque[str] = deque()
+        self._seq = itertools.count(1)
+        self.counters: dict[str, int] = {
+            "requests": 0,  # every POST /run that parsed as HTTP
+            "submitted": 0,  # unique jobs accepted into the queue
+            "deduplicated": 0,  # requests attached to an in-flight job
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected": 0,  # backpressure 429s
+            "invalid": 0,  # spec validation 400s
+        }
+
+    # ------------------------------------------------------------- lookup
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def inflight(self) -> list[Job]:
+        """Jobs currently queued or running (shutdown sweep)."""
+        return list(self._inflight.values())
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # --------------------------------------------------------- submission
+    def attach(self, key: str) -> Optional[Job]:
+        """Dedup: join an in-flight job for ``key``, or None to create one."""
+        job = self._inflight.get(key)
+        if job is not None:
+            job.waiters += 1
+            self.counters["deduplicated"] += 1
+        return job
+
+    def create(self, spec: ScenarioSpec, key: str, priority: int = 0) -> Job:
+        """Register a new unique job (caller dispatches it to the pool)."""
+        job = Job(id=f"j{next(self._seq):06d}", key=key, spec=spec, priority=priority)
+        self._jobs[job.id] = job
+        self._inflight[key] = job
+        self.counters["submitted"] += 1
+        return job
+
+    def discard(self, job: Job) -> None:
+        """Forget a job the pool refused (backpressure): it never ran."""
+        self._jobs.pop(job.id, None)
+        self._inflight.pop(job.key, None)
+        self.counters["submitted"] -= 1
+
+    # --------------------------------------------------------- completion
+    def mark_done(self, job: Job, record: dict) -> None:
+        job.record = record
+        self._finish(job, DONE, "completed")
+
+    def mark_failed(self, job: Job, error: str, status: int = 500) -> None:
+        job.error = error
+        job.error_status = status
+        self._finish(job, FAILED, "failed")
+
+    def mark_cancelled(self, job: Job) -> None:
+        self._finish(job, CANCELLED, "cancelled")
+
+    def _finish(self, job: Job, state: str, counter: str) -> None:
+        if job._terminal is not None:  # pragma: no cover - double completion
+            return
+        job._terminal = state
+        job.finished_at = time.monotonic()
+        self.counters[counter] += 1
+        self._inflight.pop(job.key, None)
+        self._finished.append(job.id)
+        while len(self._finished) > self.history_limit:
+            self._jobs.pop(self._finished.popleft(), None)

@@ -1,0 +1,282 @@
+"""The resident executor: a bounded priority queue over persistent workers.
+
+:class:`ResidentPool` is the execution half of ``repro serve``.  It
+generalizes the one-shot pools of
+:class:`~repro.analysis.parallel.ParallelSweepRunner` into a long-lived
+executor: workers stay warm across requests (keeping their in-process
+calibration memos and imported module state), submissions queue in a
+bounded priority heap, queued work can be cancelled, and a full queue
+raises :class:`PoolSaturatedError` — the signal the HTTP layer turns into
+a 429 instead of letting latency grow without bound.
+
+Two worker modes:
+
+* ``mode="thread"`` — resident worker threads call
+  :func:`~repro.scenario.runner.run_scenario` in-process.  Scenarios then
+  share the parent's calibration memo and any custom
+  :class:`~repro.scenario.registry.Registry` directly; throughput is
+  GIL-bound but per-request latency is minimal.  This is what the test
+  harness uses (deterministic, no forking).
+* ``mode="process"`` — a persistent
+  :class:`~repro.analysis.parallel.ParallelSweepRunner` pool executes
+  specs on worker *processes* via
+  :meth:`~repro.analysis.parallel.ParallelSweepRunner.submit_record`.
+  True parallelism for CPU-bound simulations; requires the default
+  registry (plugins must be importable in the workers).
+
+Running work cannot be interrupted in either mode (there is no safe way
+to kill a worker mid-simulation without losing its warm state), so
+:meth:`ResidentPool.cancel` succeeds only while a ticket is still queued
+— exactly the queued-vs-running contract the service documents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.scenario.spec import ScenarioSpec
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING
+
+
+class PoolSaturatedError(ReproError):
+    """The resident pool's bounded queue is full (backpressure)."""
+
+
+class PoolClosedError(ReproError):
+    """A submission arrived after the pool was closed."""
+
+
+class PoolTicket:
+    """Handle for one submitted scenario: a result future plus queued-cancel.
+
+    ``future`` resolves to the record's wire dict
+    (``RunRecord.to_dict()``), or raises the engine's exception, or is
+    cancelled if the ticket was cancelled while still queued.
+    """
+
+    __slots__ = ("spec", "priority", "seq", "future", "state", "started_at")
+
+    def __init__(self, spec: ScenarioSpec, priority: int, seq: int) -> None:
+        self.spec = spec
+        self.priority = priority
+        self.seq = seq
+        self.future: Future = Future()
+        self.state = QUEUED
+        self.started_at: Optional[float] = None
+
+
+class ResidentPool:
+    """Persistent workers behind a bounded priority queue.
+
+    Parameters
+    ----------
+    workers:
+        Resident worker count (threads or processes).  None/0: one per CPU.
+    queue_limit:
+        Maximum *queued* (not yet running) tickets; submissions past it
+        raise :class:`PoolSaturatedError`.
+    mode:
+        ``"thread"`` or ``"process"`` (see module docstring).
+    registry:
+        Optional plugin registry for thread mode (in-process execution
+        can resolve caller-registered plugins).  Process mode rejects a
+        custom registry — worker processes resolve the default one.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_limit: int = 64,
+        mode: str = "thread",
+        registry: Any = None,
+    ) -> None:
+        import os
+
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"unknown pool mode {mode!r}; choose from ['thread', 'process']"
+            )
+        if queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        if registry is not None and mode == "process":
+            raise ConfigurationError(
+                "a custom registry requires mode='thread'; worker processes "
+                "resolve the default registry"
+            )
+        self.workers = workers or os.cpu_count() or 1
+        self.queue_limit = queue_limit
+        self.mode = mode
+        self.registry = registry
+        self._heap: list[tuple[int, int, PoolTicket]] = []
+        self._seq = itertools.count(1)
+        self._active = 0
+        self._executed = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._started = False
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._runner = None  # ParallelSweepRunner, process mode
+
+    # ----------------------------------------------------------- lifetime
+    def start(self) -> "ResidentPool":
+        """Bring the workers up (idempotent).  Process mode forks here,
+        before any traffic, so the fork happens from a quiet process."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise PoolClosedError("the pool has been closed")
+            if self.mode == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-serve"
+                )
+            else:
+                from repro.analysis.parallel import ParallelSweepRunner
+
+                self._runner = ParallelSweepRunner(
+                    jobs=self.workers, persistent=True
+                )
+                self._runner._ensure_pool()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop accepting work, cancel the queue, release the workers.
+
+        Idempotent.  Queued tickets are cancelled (their futures
+        transition to cancelled); running work is abandoned — thread-mode
+        tasks finish in the background, process-mode workers are
+        terminated.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            stale, self._heap = self._heap, []
+        for _, _, ticket in stale:
+            ticket.state = CANCELLED
+            ticket.future.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._runner is not None:
+            self._runner.close(terminate=True)
+
+    def __enter__(self) -> "ResidentPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------- monitoring
+    @property
+    def queue_depth(self) -> int:
+        """Tickets waiting for a worker (cancelled strays excluded)."""
+        with self._lock:
+            return sum(1 for _, _, t in self._heap if t.state == QUEUED)
+
+    @property
+    def active(self) -> int:
+        """Tickets currently on a worker."""
+        return self._active
+
+    @property
+    def executed(self) -> int:
+        """Tickets ever dispatched to a worker (each unique job once)."""
+        return self._executed
+
+    # --------------------------------------------------------- submission
+    def submit(self, spec: ScenarioSpec, priority: int = 0) -> PoolTicket:
+        """Enqueue one scenario; higher ``priority`` runs first.
+
+        Raises :class:`PoolSaturatedError` when the bounded queue is full
+        and :class:`PoolClosedError` after :meth:`close`.
+        """
+        self.start()
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError("the pool has been closed")
+            queued = sum(1 for _, _, t in self._heap if t.state == QUEUED)
+            if queued >= self.queue_limit:
+                raise PoolSaturatedError(
+                    f"job queue is full ({queued} queued, limit "
+                    f"{self.queue_limit}); retry later"
+                )
+            ticket = PoolTicket(spec, priority, next(self._seq))
+            heapq.heappush(self._heap, (-priority, ticket.seq, ticket))
+            self._pump_locked()
+        return ticket
+
+    def cancel(self, ticket: PoolTicket) -> bool:
+        """Cancel a ticket if (and only if) it is still queued."""
+        with self._lock:
+            if ticket.state != QUEUED:
+                return False
+            ticket.state = CANCELLED
+        ticket.future.cancel()
+        return True
+
+    # ----------------------------------------------------------- dispatch
+    def _pump_locked(self) -> None:
+        """Start queued tickets while worker slots are free (lock held)."""
+        while self._active < self.workers and self._heap:
+            _, _, ticket = heapq.heappop(self._heap)
+            if ticket.state != QUEUED:
+                continue  # cancelled while queued; drop the stale entry
+            ticket.state = RUNNING
+            ticket.started_at = time.monotonic()
+            self._active += 1
+            self._executed += 1
+            self._dispatch(ticket)
+
+    def _dispatch(self, ticket: PoolTicket) -> None:
+        # Completion always lands on a pool-owned thread (a worker thread
+        # in thread mode, the result-handler thread in process mode) —
+        # never synchronously inside submit(), which holds the lock that
+        # _finish needs.  A done-callback relay would violate that: a
+        # warm-cache job can complete before add_done_callback attaches,
+        # and concurrent.futures then runs the callback in the caller.
+        if self._executor is not None:
+            self._executor.submit(self._run_and_finish, ticket)
+        else:
+            self._runner.submit_record(
+                ticket.spec,
+                callback=lambda record, t=ticket: self._finish(t, record, None),
+                error_callback=lambda exc, t=ticket: self._finish(t, None, exc),
+            )
+
+    def _run_and_finish(self, ticket: PoolTicket) -> None:
+        """Thread-mode worker body: execute the spec, then settle the ticket."""
+        try:
+            record = self._run_spec(ticket.spec)
+        except BaseException as exc:
+            self._finish(ticket, None, exc)
+        else:
+            self._finish(ticket, record, None)
+
+    def _run_spec(self, spec: ScenarioSpec) -> dict:
+        from repro.scenario import run_scenario
+
+        return run_scenario(spec, self.registry).to_dict()
+
+    def _finish(
+        self,
+        ticket: PoolTicket,
+        record: Optional[dict],
+        error: Optional[BaseException],
+    ) -> None:
+        with self._lock:
+            self._active -= 1
+            if not self._closed:
+                self._pump_locked()
+        if error is not None:
+            ticket.state = FAILED
+            ticket.future.set_exception(error)
+        else:
+            ticket.state = DONE
+            ticket.future.set_result(record)

@@ -1,0 +1,88 @@
+"""Satellite 1: concurrent dup-heavy load — dedup, parity, single execution.
+
+50 concurrent blocking requests over 5 unique scenarios (10 requests
+each) against a service whose workers are first plugged with gated jobs,
+so every request provably arrives while its job is still in flight:
+
+* every response is bit-identical to a direct
+  :func:`~repro.scenario.runner.run_scenario` of the same spec (modulo
+  the host wall-clock fields);
+* the dedup counter equals the forced collision count (45);
+* no job executed twice — the pool dispatched exactly
+  ``uniques + plugs`` tickets.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from service_helpers import gate_spec, server_spec, strip_wall, wait_until
+
+from repro.scenario import run_scenario
+from repro.scenario.spec import ScenarioSpec
+
+UNIQUES = 5
+DUPES_PER_SPEC = 10
+WORKERS = 2  # service workers, all plugged before the burst
+
+
+def test_concurrent_dup_heavy_requests(make_service, gates, test_registry):
+    service, client = make_service(workers=WORKERS, queue_limit=64)
+    specs = [
+        server_spec(name=f"burst-{i}", seed=i + 1, policy="adaptive")
+        for i in range(UNIQUES)
+    ]
+    direct = {
+        spec["name"]: run_scenario(ScenarioSpec.from_dict(spec), test_registry)
+        .to_dict()
+        for spec in specs
+    }
+
+    # Plug every worker so the burst's jobs all stay queued (and hence
+    # in flight) until every duplicate has attached.
+    for i in range(WORKERS):
+        client.submit(gate_spec(f"plug-{i}"))
+    for i in range(WORKERS):
+        assert gates.wait_started(f"plug-{i}")
+
+    requests = [spec for spec in specs for _ in range(DUPES_PER_SPEC)]
+    assert len(requests) == UNIQUES * DUPES_PER_SPEC == 50
+    with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+        futures = [pool.submit(client.run_with_job, spec) for spec in requests]
+        # Release the plugs only after every request has been absorbed
+        # into the job table — the dedup count is then deterministic.
+        expected_submitted = UNIQUES + WORKERS
+        expected_dedup = len(requests) - UNIQUES
+        wait_until(
+            lambda: client.stats()["counters"]["deduplicated"] == expected_dedup
+        )
+        gates.open_all()
+        responses = [future.result(timeout=60) for future in futures]
+
+    # Parity: every one of the 50 responses equals its direct run.
+    for spec, (record, _) in zip(requests, responses):
+        assert strip_wall(record) == strip_wall(direct[spec["name"]])
+
+    # One job id per unique spec, shared by its 10 duplicates.
+    ids_by_name: dict[str, set] = {}
+    for spec, (_, job_id) in zip(requests, responses):
+        ids_by_name.setdefault(spec["name"], set()).add(job_id)
+    assert all(len(ids) == 1 for ids in ids_by_name.values())
+    assert len(set().union(*ids_by_name.values())) == UNIQUES
+
+    stats = client.stats()
+    counters = stats["counters"]
+    assert counters["requests"] == len(requests) + WORKERS
+    assert counters["submitted"] == expected_submitted
+    assert counters["deduplicated"] == expected_dedup
+    assert counters["completed"] == expected_submitted
+    assert counters["failed"] == 0
+
+    # No job executed twice: the pool dispatched exactly one ticket per
+    # unique job, and the gate engine observed one run per plug.
+    assert counters["executed"] == expected_submitted
+    assert service.service.pool.executed == expected_submitted
+    assert all(gates.runs[f"plug-{i}"] == 1 for i in range(WORKERS))
+
+    # All latencies were recorded.
+    assert stats["latency"]["count"] == expected_submitted
