@@ -111,6 +111,20 @@ def _worker_ignore_signals() -> None:
         signal.signal(signal.SIGTERM, _worker_exit_cleanly)
 
 
+#: Worker-side notes channel (set by the pool initializer): each tagged
+#: submission announces ``(tag, pid)`` here before it starts executing,
+#: which is what lets the parent map in-flight work to worker processes
+#: and notice when one dies mid-job (see :class:`repro.service.pool.ResidentPool`).
+_NOTES = None
+
+
+def _worker_announce(notes) -> None:
+    """Pool-worker initializer: signal handling plus the notes channel."""
+    global _NOTES
+    _worker_ignore_signals()
+    _NOTES = notes
+
+
 def _calibrate_worker(key: PlatformKey) -> tuple[PlatformKey, PlatformSpec]:
     return key, cached_platform(key)
 
@@ -148,6 +162,19 @@ def _spec_record_worker(payload: dict) -> dict:
     return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()
 
 
+def _tagged_record_worker(payload: tuple) -> dict:
+    """Like :func:`_spec_record_worker`, announcing ``(tag, pid)`` first.
+
+    The announcement is the very first statement so the liveness window
+    in which a crash is invisible to the parent is as small as the
+    interpreter allows.
+    """
+    tag, spec_dict = payload
+    if _NOTES is not None:
+        _NOTES.put((tag, os.getpid()))
+    return _spec_record_worker(spec_dict)
+
+
 class ParallelSweepRunner:
     """Run sweep cases across a process pool with shared calibrations.
 
@@ -180,6 +207,7 @@ class ParallelSweepRunner:
         self.keep_runs = keep_runs
         self.persistent = persistent
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._notes = None  # worker-liveness channel, persistent pools only
 
     # ------------------------------------------------------- pool lifetime
     def _ensure_pool(
@@ -195,9 +223,20 @@ class ParallelSweepRunner:
             processes = self.jobs
             if not self.persistent and size_hint is not None:
                 processes = max(1, min(self.jobs, size_hint))
-            self._pool = multiprocessing.Pool(
-                processes=processes, initializer=_worker_ignore_signals
-            )
+            if self.persistent:
+                # Resident pools carry the liveness channel: tagged
+                # submissions announce their worker pid so the parent
+                # can detect mid-job worker deaths and retry.
+                self._notes = multiprocessing.SimpleQueue()
+                self._pool = multiprocessing.Pool(
+                    processes=processes,
+                    initializer=_worker_announce,
+                    initargs=(self._notes,),
+                )
+            else:
+                self._pool = multiprocessing.Pool(
+                    processes=processes, initializer=_worker_ignore_signals
+                )
         return self._pool
 
     def close(self, terminate: bool = False) -> None:
@@ -211,6 +250,7 @@ class ParallelSweepRunner:
         runners restart cleanly any number of times in one process.
         """
         pool, self._pool = self._pool, None
+        notes, self._notes = self._notes, None
         if pool is None:
             return
         if terminate:
@@ -218,6 +258,8 @@ class ParallelSweepRunner:
         else:
             pool.close()
         pool.join()
+        if notes is not None:
+            notes.close()
 
     def join(self) -> None:
         """Alias for :meth:`close` — both are idempotent, in any order."""
@@ -235,6 +277,7 @@ class ParallelSweepRunner:
         spec,
         callback: Optional[Callable[[dict], None]] = None,
         error_callback: Optional[Callable[[BaseException], None]] = None,
+        tag: Optional[int] = None,
     ) -> "multiprocessing.pool.AsyncResult":
         """Submit one scenario for asynchronous execution on the pool.
 
@@ -244,16 +287,66 @@ class ParallelSweepRunner:
         ``error_callback`` fire on the pool's result-handler thread, like
         :meth:`multiprocessing.pool.Pool.apply_async`.  Unlike the batch
         entry points this always uses a pool, even at ``jobs == 1``.
+
+        A non-None ``tag`` makes the worker announce ``(tag, pid)`` on
+        the liveness channel as its first act — drain with
+        :meth:`note_pids`, check with :meth:`worker_alive`.  Tags need a
+        persistent runner (one-shot pools have no channel).
         """
         from repro.scenario.spec import ScenarioSpec
 
         if not isinstance(spec, ScenarioSpec):
             spec = ScenarioSpec.from_dict(spec)
-        return self._ensure_pool().apply_async(
+        pool = self._ensure_pool()
+        if tag is not None:
+            if self._notes is None:
+                raise ConfigurationError(
+                    "tagged submissions need a persistent runner "
+                    "(ParallelSweepRunner(persistent=True))"
+                )
+            return pool.apply_async(
+                _tagged_record_worker,
+                ((tag, spec.to_dict()),),
+                callback=callback,
+                error_callback=error_callback,
+            )
+        return pool.apply_async(
             _spec_record_worker,
             (spec.to_dict(),),
             callback=callback,
             error_callback=error_callback,
+        )
+
+    def note_pids(self) -> list[tuple[int, int]]:
+        """Drain the liveness channel: ``(tag, worker pid)`` per started job.
+
+        Single-consumer nonblocking drain; call it from one monitor
+        thread only.
+        """
+        notes = self._notes
+        out: list[tuple[int, int]] = []
+        if notes is None:
+            return out
+        try:
+            while not notes.empty():
+                out.append(notes.get())
+        except (OSError, EOFError):  # channel torn down under us
+            pass
+        return out
+
+    def worker_alive(self, pid: int) -> bool:
+        """Whether ``pid`` is a live worker of the current pool.
+
+        A worker that died (crash, SIGKILL, OOM) leaves the pool's
+        process list — either reaped and replaced by the pool's
+        maintenance thread or still listed with a set exitcode; both
+        read as dead here.
+        """
+        pool = self._pool
+        if pool is None:
+            return False
+        return any(
+            p.pid == pid and p.is_alive() for p in pool._pool
         )
 
     def run(

@@ -51,6 +51,11 @@ def add_serve_parser(sub: argparse._SubParsersAction) -> None:
         help="finished jobs retained for /jobs/<id> polling",
     )
     p.add_argument(
+        "--job-retries", type=int, default=1,
+        help="default extra attempts after a worker crash (per job; "
+             "clients override with POST /run?max_retries=N)",
+    )
+    p.add_argument(
         "--port-file", metavar="PATH", default=None,
         help="write the bound port here once listening (for --port 0)",
     )
@@ -70,6 +75,7 @@ async def _serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         mode=args.pool,
         history_limit=args.history,
+        max_retries=args.job_retries,
     )
     await service.start(args.host, args.port)
     if args.port_file:

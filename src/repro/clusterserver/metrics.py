@@ -61,6 +61,10 @@ class SloSummary:
     node_seconds: float
     utilization_mean: float
     utilization_series: tuple[tuple[float, float], ...] = ()
+    #: fault-layer counters (see ``docs/faults.md``); zero without a plan
+    retries: int = 0
+    lost_work: float = 0.0
+    failed_jobs: int = 0
 
     def to_metrics(self) -> dict[str, float]:
         """Flat scalar dict for :class:`~repro.scenario.runner.RunRecord`."""
@@ -76,6 +80,9 @@ class SloSummary:
             "slowdown_max": self.slowdown_max,
             "rejection_rate": self.rejection_rate,
             "utilization_mean": self.utilization_mean,
+            "retries": self.retries,
+            "lost_work": self.lost_work,
+            "failed_jobs": self.failed_jobs,
         }
 
 
@@ -96,6 +103,9 @@ class SloAggregator:
         self._last_t = 0.0
         self._granted = 0
         self._capacity = 0
+        self.retries = 0
+        self.lost_work = 0.0
+        self.failed_jobs = 0
         #: [bucket_end_time, busy node-seconds, capacity node-seconds]
         self._series: list[list[float]] = []
 
@@ -161,6 +171,9 @@ class SloAggregator:
         out.rejected = self.rejected + other.rejected
         out.total_work = self.total_work + other.total_work
         out.node_seconds = self.node_seconds + other.node_seconds
+        out.retries = self.retries + other.retries
+        out.lost_work = self.lost_work + other.lost_work
+        out.failed_jobs = self.failed_jobs + other.failed_jobs
         out._busy_integral = self._busy_integral + other._busy_integral
         out._cap_integral = self._cap_integral + other._cap_integral
         out._last_t = max(self._last_t, other._last_t)
@@ -197,4 +210,7 @@ class SloAggregator:
                 (t, busy / cap if cap > 0 else 0.0)
                 for t, busy, cap in self._series
             ),
+            retries=self.retries,
+            lost_work=self.lost_work,
+            failed_jobs=self.failed_jobs,
         )

@@ -30,6 +30,26 @@ from repro.clusterserver.scheduler import Scheduler
 from repro.clusterserver.workload import JobSpec, MalleableJob
 from repro.des.kernel import Kernel
 from repro.errors import ConfigurationError
+from repro.faults import CompiledFaultPlan, FaultPlan, FaultRuntime
+
+
+def _compile_faults(faults, total_nodes: int):
+    """Normalize a ctor ``faults`` argument to a compiled plan or ``None``.
+
+    An eventless plan normalizes to ``None`` so it selects the exact
+    fault-free code path (part of the ≤2% empty-plan overhead gate:
+    there is literally nothing to pay).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        faults = faults.compile(total_nodes)
+    if not isinstance(faults, CompiledFaultPlan):
+        raise ConfigurationError(
+            "faults must be a FaultPlan or CompiledFaultPlan, "
+            f"got {type(faults).__name__}"
+        )
+    return faults if faults.entries else None
 
 
 @dataclass
@@ -57,6 +77,13 @@ class ServerResult:
     jobs_completed: int = 0
     #: jobs turned away by admission control (open-system runs only)
     jobs_rejected: int = 0
+    #: fault-layer outcome (``docs/faults.md``); zeros without a plan
+    retries: int = 0
+    lost_work: float = 0.0
+    failed_jobs: int = 0
+    #: applied fault operations in replay order (bit-identical across
+    #: shard counts — part of the sharded determinism contract)
+    fault_trace: tuple = ()
 
     def _consumed_node_seconds(self) -> float:
         if self.job_node_seconds:
@@ -137,6 +164,7 @@ def finalize_result(
     jobs: Sequence[MalleableJob],
     makespan: float,
     events: int,
+    faults=None,
 ) -> ServerResult:
     """Starvation check plus metric assembly, shared by both engines.
 
@@ -145,17 +173,21 @@ def finalize_result(
     turnaround/wait/slowdown identically — the sharded-equivalence gate
     compares them field by field — so the tail lives here exactly once.
     ``jobs`` must carry final ``started_at``/``finished_at``/
-    ``node_seconds`` state, in workload-spec order.
+    ``node_seconds`` state, in workload-spec order.  ``faults`` is the
+    run's :class:`~repro.faults.FaultRuntime` (if any): jobs it failed
+    are excluded from the per-job dicts — their discarded work shows up
+    in ``lost_work``, not ``total_work``.
     """
-    unfinished = [j for j in jobs if not j.done]
+    unfinished = [j for j in jobs if not j.done and not j.failed]
     if unfinished:
         raise ConfigurationError(
             f"{scheduler_name}: {len(unfinished)} jobs never "
             "completed (policy starved them); check min_nodes and "
             "cluster size"
         )
+    completed = [j for j in jobs if not j.failed]
     slowdown = {}
-    for j in jobs:
+    for j in completed:
         ideal = j.spec.ideal_duration()
         turnaround = j.finished_at - j.spec.arrival
         slowdown[j.spec.name] = turnaround / ideal if ideal > 0 else math.inf
@@ -164,27 +196,41 @@ def finalize_result(
         total_nodes=total_nodes,
         makespan=makespan,
         job_turnaround={
-            j.spec.name: j.finished_at - j.spec.arrival for j in jobs
+            j.spec.name: j.finished_at - j.spec.arrival for j in completed
         },
-        job_node_seconds={j.spec.name: j.node_seconds for j in jobs},
-        total_work=sum(j.spec.total_work for j in jobs),
+        job_node_seconds={j.spec.name: j.node_seconds for j in completed},
+        total_work=sum(j.spec.total_work for j in completed),
         job_wait={
-            j.spec.name: j.started_at - j.spec.arrival for j in jobs
+            j.spec.name: j.started_at - j.spec.arrival for j in completed
         },
         job_slowdown=slowdown,
         events=events,
-        jobs_completed=len(jobs),
+        jobs_completed=len(completed),
+        retries=faults.retries if faults is not None else 0,
+        lost_work=faults.lost_work if faults is not None else 0.0,
+        failed_jobs=faults.failed_jobs if faults is not None else 0,
+        fault_trace=tuple(faults.trace) if faults is not None else (),
     )
 
 
 class ClusterServer:
-    """Simulates a cluster running a malleable workload under a policy."""
+    """Simulates a cluster running a malleable workload under a policy.
 
-    def __init__(self, total_nodes: int, scheduler: Scheduler) -> None:
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan` (or an
+    already-compiled plan): node crashes, brown-outs, degrades and job
+    kills replayed deterministically against the run (see
+    ``docs/faults.md``).  A plan with no events adds no code to the hot
+    path — fault-free runs are bit-identical to ``faults=None``.
+    """
+
+    def __init__(
+        self, total_nodes: int, scheduler: Scheduler, faults=None
+    ) -> None:
         if total_nodes < 1:
             raise ConfigurationError("total_nodes must be >= 1")
         self.total_nodes = total_nodes
         self.scheduler = scheduler
+        self.faults = _compile_faults(faults, total_nodes)
 
     def run(self, workload) -> ServerResult:
         """Simulate a workload to completion.
@@ -202,11 +248,18 @@ class ClusterServer:
     def _run_closed(self, specs: Sequence[JobSpec]) -> ServerResult:
         """The closed-system path: every job materialized up front."""
         kernel = Kernel()
-        jobs = [MalleableJob(spec) for spec in specs]
+        jobs = [MalleableJob(spec, index=i) for i, spec in enumerate(specs)]
         pending = sorted(jobs, key=lambda j: j.spec.arrival)
         running: list[MalleableJob] = []
+        runtime = (
+            FaultRuntime(self.faults, self.total_nodes)
+            if self.faults is not None
+            else None
+        )
         last_update = 0.0
         boundary: list = [None]  # pending phase-boundary event handle
+        arrivals_left = len(pending)
+        fault_handles: dict[float, object] = {}
 
         def advance_to_now() -> None:
             nonlocal last_update
@@ -215,6 +268,32 @@ class ClusterServer:
                 for job in running:
                     job.advance(dt)
             last_update = kernel.now
+
+        def apply_faults() -> None:
+            # Fire every fault due now against the pre-fault grants of
+            # the jobs that have not already completed at this instant —
+            # the same retirement-first ordering the sharded engine's
+            # barrier uses.
+            live = {j.index: j for j in running if not j.done}
+            ordered = sorted((idx, j.nodes) for idx, j in live.items())
+            _fired, victims = runtime.fire(kernel.now, ordered)
+            for idx, entry in victims:
+                job = live.get(idx)
+                if job is None:
+                    entry["outcome"] = "absent"
+                    continue
+                lost = job.spec.phase_work[job.phase] - job.remaining_in_phase
+                if runtime.record_loss(idx, lost, entry) == "retry":
+                    # Restart the whole current phase: the post-fault
+                    # remaining is an exact constant, which is what lets
+                    # every engine agree bit-for-bit after the fault.
+                    job.remaining_in_phase = job.spec.phase_work[job.phase]
+                else:
+                    job.failed = True
+                    job.finished_at = kernel.now
+                    job.nodes = 0
+                    running.remove(job)
+                    del live[idx]
 
         def reschedule() -> None:
             # Retire finished jobs, apply the policy, arm the next event.
@@ -231,17 +310,32 @@ class ClusterServer:
                 job.finished_at = kernel.now
                 job.nodes = 0
                 running.remove(job)
-            allocation = self.scheduler.allocate(running, self.total_nodes)
+            capacity = self.total_nodes
+            if runtime is not None:
+                if not running and arrivals_left == 0:
+                    # Workload done: faults scheduled past the end must
+                    # not drag the makespan out.
+                    for handle in fault_handles.values():
+                        kernel.cancel(handle)
+                    fault_handles.clear()
+                capacity = runtime.capacity(self.total_nodes)
+            allocation = self.scheduler.allocate(running, capacity)
             granted = sum(allocation.values())
-            if granted > self.total_nodes:
+            if granted > capacity:
                 raise ConfigurationError(
                     f"{self.scheduler.name} over-allocated: {granted} > "
-                    f"{self.total_nodes}"
+                    f"{capacity}"
                 )
             for job in running:
                 job.nodes = allocation.get(job, 0)
                 if job.nodes > 0 and math.isnan(job.started_at):
                     job.started_at = kernel.now
+            if runtime is not None and runtime.factors_live:
+                factors = runtime.rate_factors(
+                    sorted((j.index, j.nodes) for j in running)
+                )
+                for job in running:
+                    job.rate_factor = factors[job.index]
             horizon = min(
                 (j.time_to_phase_end() for j in running), default=math.inf
             )
@@ -256,10 +350,25 @@ class ClusterServer:
             reschedule()
 
         def on_arrival(job: MalleableJob) -> None:
+            nonlocal arrivals_left
+            arrivals_left -= 1
             advance_to_now()
             running.append(job)
             reschedule()
 
+        def on_fault(t: float) -> None:
+            fault_handles.pop(t, None)
+            advance_to_now()
+            apply_faults()
+            reschedule()
+
+        if runtime is not None:
+            # Scheduled before the arrivals so their lower sequence
+            # numbers win timestamp ties: at equal times the order is
+            # completions (advance + retire), then faults, then arrivals
+            # — the sharded barrier's ordering.
+            for t in sorted({e[0] for e in self.faults.entries}):
+                fault_handles[t] = kernel.schedule_at(t, on_fault, t)
         for job in pending:
             kernel.schedule_at(job.spec.arrival, on_arrival, job)
         kernel.run()
@@ -270,6 +379,7 @@ class ClusterServer:
             jobs,
             kernel.now,
             kernel.events_executed,
+            faults=runtime,
         )
 
     def _run_open(
@@ -286,10 +396,18 @@ class ClusterServer:
         kernel = Kernel()
         agg = SloAggregator()
         running: list[MalleableJob] = []
-        deferred: deque[JobSpec] = deque()
+        deferred: deque[tuple[int, JobSpec]] = deque()
+        runtime = (
+            FaultRuntime(self.faults, self.total_nodes)
+            if self.faults is not None
+            else None
+        )
         last_update = 0.0
         last_arrival = 0.0
+        next_index = 0
+        exhausted = False
         boundary: list = [None]
+        fault_handles: dict[float, object] = {}
 
         def advance_to_now() -> None:
             nonlocal last_update
@@ -300,9 +418,10 @@ class ClusterServer:
             last_update = kernel.now
 
         def schedule_next_arrival() -> None:
-            nonlocal last_arrival
+            nonlocal last_arrival, exhausted
             item = next(stream, None)
             if item is None:
+                exhausted = True
                 return
             t, spec = item
             if t < last_arrival:
@@ -313,6 +432,32 @@ class ClusterServer:
                 )
             last_arrival = t
             kernel.schedule_at(t, on_arrival, spec)
+
+        def available_nodes() -> int:
+            if runtime is not None:
+                return runtime.capacity(self.total_nodes)
+            return self.total_nodes
+
+        def apply_faults() -> None:
+            # Identical victim semantics to the closed path: restart the
+            # current phase under the retry budget, fail past it.
+            live = {j.index: j for j in running if not j.done}
+            ordered = sorted((idx, j.nodes) for idx, j in live.items())
+            _fired, victims = runtime.fire(kernel.now, ordered)
+            for idx, entry in victims:
+                job = live.get(idx)
+                if job is None:
+                    entry["outcome"] = "absent"
+                    continue
+                lost = job.spec.phase_work[job.phase] - job.remaining_in_phase
+                if runtime.record_loss(idx, lost, entry) == "retry":
+                    job.remaining_in_phase = job.spec.phase_work[job.phase]
+                else:
+                    job.failed = True
+                    job.finished_at = kernel.now
+                    job.nodes = 0
+                    running.remove(job)
+                    del live[idx]
 
         def reschedule() -> None:
             # Same decision structure as the closed path, with retirement
@@ -326,17 +471,28 @@ class ClusterServer:
                 job.nodes = 0
                 running.remove(job)
                 agg.observe_completion(job)
+            avail = available_nodes()
+            if (
+                runtime is not None
+                and exhausted
+                and not running
+                and not deferred
+            ):
+                for handle in fault_handles.values():
+                    kernel.cancel(handle)
+                fault_handles.clear()
             # Deferred arrivals retry in FIFO order; membership state may
             # have changed since they were parked.
             while deferred and self.scheduler.admit(
-                deferred[0], running, self.total_nodes
+                deferred[0][1], running, avail
             ):
-                running.append(MalleableJob(deferred.popleft()))
-            allocation = self.scheduler.allocate(running, self.total_nodes)
+                idx, spec = deferred.popleft()
+                running.append(MalleableJob(spec, index=idx))
+            allocation = self.scheduler.allocate(running, avail)
             granted = sum(allocation.values())
             # Read the capacity after allocate(): autoscalers resize
             # their pool inside the allocation call.
-            capacity = self.scheduler.capacity(self.total_nodes)
+            capacity = self.scheduler.capacity(avail)
             if granted > capacity:
                 raise ConfigurationError(
                     f"{self.scheduler.name} over-allocated: {granted} > "
@@ -346,6 +502,12 @@ class ClusterServer:
                 job.nodes = allocation.get(job, 0)
                 if job.nodes > 0 and math.isnan(job.started_at):
                     job.started_at = kernel.now
+            if runtime is not None and runtime.factors_live:
+                factors = runtime.rate_factors(
+                    sorted((j.index, j.nodes) for j in running)
+                )
+                for job in running:
+                    job.rate_factor = factors[job.index]
             agg.observe_utilization(kernel.now, granted, capacity)
             horizon = min(
                 (j.time_to_phase_end() for j in running), default=math.inf
@@ -361,17 +523,33 @@ class ClusterServer:
             reschedule()
 
         def on_arrival(spec: JobSpec) -> None:
+            nonlocal next_index
             advance_to_now()
             # One-ahead pull: exactly one future arrival is ever buffered.
             schedule_next_arrival()
-            if self.scheduler.admit(spec, running, self.total_nodes):
-                running.append(MalleableJob(spec))
+            idx = next_index
+            next_index += 1
+            if self.scheduler.admit(spec, running, available_nodes()):
+                running.append(MalleableJob(spec, index=idx))
             elif self.scheduler.defer_rejected:
-                deferred.append(spec)
+                deferred.append((idx, spec))
             else:
                 agg.observe_rejection(kernel.now, spec)
             reschedule()
 
+        def on_fault(t: float) -> None:
+            fault_handles.pop(t, None)
+            advance_to_now()
+            apply_faults()
+            reschedule()
+
+        if runtime is not None:
+            # Before the first arrival pull, so fault events win
+            # timestamp ties against arrivals (completions still settle
+            # first via the done-exclusion in apply_faults) — the same
+            # ordering the sharded barrier applies.
+            for t in sorted({e[0] for e in self.faults.entries}):
+                fault_handles[t] = kernel.schedule_at(t, on_fault, t)
         schedule_next_arrival()
         kernel.run()
         advance_to_now()
@@ -382,6 +560,10 @@ class ClusterServer:
                 "completed (policy starved them); check min_nodes and "
                 "cluster size"
             )
+        if runtime is not None:
+            agg.retries = runtime.retries
+            agg.lost_work = runtime.lost_work
+            agg.failed_jobs = runtime.failed_jobs
         summary = agg.summary(kernel.now)
         return ServerResult(
             scheduler=self.scheduler.name,
@@ -394,4 +576,8 @@ class ClusterServer:
             slo=summary,
             jobs_completed=summary.jobs_completed,
             jobs_rejected=summary.jobs_rejected,
+            retries=summary.retries,
+            lost_work=summary.lost_work,
+            failed_jobs=summary.failed_jobs,
+            fault_trace=tuple(runtime.trace) if runtime is not None else (),
         )

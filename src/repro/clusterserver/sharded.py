@@ -55,12 +55,17 @@ from typing import Collection, Iterator, Optional, Sequence
 
 from repro.clusterserver.metrics import SloAggregator
 from repro.clusterserver.scheduler import Scheduler
-from repro.clusterserver.server import ServerResult, finalize_result
+from repro.clusterserver.server import (
+    ServerResult,
+    _compile_faults,
+    finalize_result,
+)
 from repro.clusterserver.workload import JobSpec, MalleableJob
 from repro.des.epoch import EpochController, ShardHandle
 from repro.des.fluid import FluidPool, FluidTask, RateAllocator
 from repro.des.kernel import Kernel
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, ShardCrashError, SimulationError
+from repro.faults import FaultRuntime
 
 
 @dataclass
@@ -229,16 +234,47 @@ class JobShard:
         )
         self.pool.add(job.task)
 
-    def apply_allocation(self, updates: Sequence[tuple[int, int]]) -> None:
-        """Apply the controller's node-grant deltas and re-rate the tasks."""
+    def restart_phase(self, index: int) -> None:
+        """Discard the job's in-flight phase and start it over (fault retry).
+
+        The replacement task carries the job's current rate; a grant or
+        factor change decided at the same barrier follows in the same
+        apply batch via :meth:`apply_allocation`.
+        """
+        job = self.jobs[index]
+        if job.task is not None and job.task.pool is not None:
+            self.pool.remove(job.task)
+        job.task = FluidTask(
+            job.spec.phase_work[job.phase], self._on_phase_complete, tag=job
+        )
+        self.pool.add(job.task)
+
+    def drop(self, index: int) -> None:
+        """Remove a job the fault layer failed (retry budget exhausted)."""
+        job = self.jobs.pop(index)
+        if job.task is not None and job.task.pool is not None:
+            self.pool.remove(job.task)
+        job.task = None
+
+    def apply_allocation(
+        self, updates: Sequence[tuple[int, int, float]]
+    ) -> None:
+        """Apply the controller's node-grant deltas and re-rate the tasks.
+
+        ``factor`` is the fault layer's degraded-node slowdown — 1.0
+        unless a degrade fault is live, and ``x * 1.0`` is exact under
+        IEEE arithmetic, so fault-free runs are bit-unchanged.
+        """
         changed: list[FluidTask] = []
-        for index, nodes in updates:
+        for index, nodes, factor in updates:
             job = self.jobs[index]
             job.nodes = nodes
             # Same expression as MalleableJob.rate(), so the sharded and
             # eager engines agree to float reassociation noise.
             job.rate = (
-                nodes * job.spec.efficiency(nodes) if nodes > 0 else 0.0
+                nodes * job.spec.efficiency(nodes) * factor
+                if nodes > 0
+                else 0.0
             )
             if job.task is not None and job.task.pool is not None:
                 changed.append(job.task)
@@ -271,9 +307,15 @@ class _LocalShardHandle(ShardHandle):
     def begin_apply(
         self,
         admissions: Sequence[int],
-        updates: Sequence[tuple[int, int]],
+        updates: Sequence[tuple[int, int, float]],
         new_specs: Sequence[tuple[int, JobSpec]] = (),
+        restarts: Sequence[int] = (),
+        drops: Sequence[int] = (),
     ) -> None:
+        for index in restarts:
+            self.shard.restart_phase(index)
+        for index in drops:
+            self.shard.drop(index)
         for index in admissions:
             self.shard.admit(index)
         for index, spec in new_specs:
@@ -301,6 +343,10 @@ def _shard_worker(conn, shard_id: int, assignments) -> None:
                 arrived, completed = shard.run_until(msg[1])
                 conn.send(("ok", (arrived, completed, shard.next_event_time())))
             elif cmd == "apply":
+                for index in msg[4]:
+                    shard.restart_phase(index)
+                for index in msg[5]:
+                    shard.drop(index)
                 for index in msg[1]:
                     shard.admit(index)
                 for index, spec in msg[3]:
@@ -329,9 +375,23 @@ class _ProcessShardHandle(ShardHandle):
     ``next_event_time`` is cached from the last reply — every message that
     can change it (advance, apply) returns the fresh value, so the cache
     is always current when the controller computes the next bound.
+
+    Crash safety: :meth:`_recv` polls the pipe in short slices and checks
+    worker liveness between them, so a SIGKILLed (or OOM-killed) worker
+    surfaces as a diagnostic :class:`~repro.errors.ShardCrashError` —
+    shard id, in-flight command, exit code — within roughly one poll
+    slice instead of blocking the controller forever.
     """
 
+    #: pipe poll granularity; ``poll`` returns immediately once data is
+    #: ready, so this bounds crash-detection latency, not reply latency
+    _POLL_SLICE_S = 0.05
+    #: how long shutdown waits for the final stats reply
+    _FINISH_TIMEOUT_S = 60.0
+
     def __init__(self, ctx, shard_id: int, assignments) -> None:
+        self.shard_id = shard_id
+        self._last_cmd = "start"
         self._conn, child = multiprocessing.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker,
@@ -343,17 +403,45 @@ class _ProcessShardHandle(ShardHandle):
         self._next: Optional[float] = self._recv()
         self._jobs = len(assignments)
 
-    def _recv(self):
-        tag, payload = self._conn.recv()
+    def _crashed(self) -> ShardCrashError:
+        self._proc.join(timeout=5.0)
+        return ShardCrashError(
+            self.shard_id, self._last_cmd, self._proc.exitcode
+        )
+
+    def _recv(self, timeout: Optional[float] = None):
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while not self._conn.poll(self._POLL_SLICE_S):
+            if not self._proc.is_alive():
+                if self._conn.poll(0):
+                    break  # parting words made it out before death
+                raise self._crashed()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ShardCrashError(self.shard_id, self._last_cmd, None)
+        try:
+            tag, payload = self._conn.recv()
+        except (EOFError, OSError):
+            raise self._crashed() from None
         if tag != "ok":
-            raise SimulationError(f"shard worker failed: {payload}")
+            raise SimulationError(
+                f"shard {self.shard_id} worker failed: {payload}"
+            )
         return payload
+
+    def _send(self, msg: tuple) -> None:
+        self._last_cmd = msg[0]
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError):
+            raise self._crashed() from None
 
     def next_event_time(self) -> Optional[float]:
         return self._next
 
     def begin_advance(self, until: float) -> None:
-        self._conn.send(("run", until))
+        self._send(("run", until))
 
     def finish_advance(self):
         arrived, completed, self._next = self._recv()
@@ -362,24 +450,45 @@ class _ProcessShardHandle(ShardHandle):
     def begin_apply(
         self,
         admissions: Sequence[int],
-        updates: Sequence[tuple[int, int]],
+        updates: Sequence[tuple[int, int, float]],
         new_specs: Sequence[tuple[int, JobSpec]] = (),
+        restarts: Sequence[int] = (),
+        drops: Sequence[int] = (),
     ) -> None:
-        self._conn.send(
-            ("apply", list(admissions), list(updates), list(new_specs))
+        self._send(
+            (
+                "apply",
+                list(admissions),
+                list(updates),
+                list(new_specs),
+                list(restarts),
+                list(drops),
+            )
         )
 
     def finish_apply(self) -> None:
         self._next = self._recv()
 
     def shutdown(self) -> tuple[int, int]:
+        """Stop the worker and return its stats; crashes are errors.
+
+        A worker that died, stalled, or exited nonzero raises
+        :class:`~repro.errors.ShardCrashError` instead of being silently
+        terminated — losing a shard mid-teardown means the result may be
+        incomplete, and the caller must know.
+        """
         try:
-            self._conn.send(("finish",))
-            stats = self._recv()
+            self._send(("finish",))
+            stats = self._recv(timeout=self._FINISH_TIMEOUT_S)
             self._proc.join(timeout=10.0)
+            if self._proc.is_alive():
+                raise ShardCrashError(self.shard_id, "finish", None)
+            exitcode = self._proc.exitcode
+            if exitcode not in (0, None):
+                raise ShardCrashError(self.shard_id, "finish", exitcode)
             return stats
         finally:
-            if self._proc.is_alive():  # pragma: no cover - crash path
+            if self._proc.is_alive():
                 self._proc.terminate()
                 self._proc.join(timeout=10.0)
             self._conn.close()
@@ -411,6 +520,7 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
         scheduler: Scheduler,
         shards: int = 1,
         mode: str = "auto",
+        faults=None,
     ) -> None:
         if total_nodes < 1:
             raise ConfigurationError("total_nodes must be >= 1")
@@ -424,6 +534,11 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
         self.scheduler = scheduler
         self.shards = shards
         self.mode = mode
+        #: compiled fault plan (``docs/faults.md``); fault replay happens
+        #: controller-side at barriers, so the trace and every counter
+        #: are bit-identical for every K — the runtime never crosses a
+        #: shard boundary
+        self.faults = _compile_faults(faults, total_nodes)
         #: accounting of the last run (None before the first)
         self.stats: Optional[ShardStats] = None
 
@@ -459,7 +574,14 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
         t_start = time.perf_counter()
         mode = self._resolve_mode()
         K = self.shards
-        mirrors = [MalleableJob(spec) for spec in specs]
+        mirrors = [
+            MalleableJob(spec, index=i) for i, spec in enumerate(specs)
+        ]
+        runtime = (
+            FaultRuntime(self.faults, self.total_nodes)
+            if self.faults is not None
+            else None
+        )
         # Round-robin partition in arrival order balances shard load; the
         # result is partition-independent, so any deterministic rule works.
         order = sorted(range(len(specs)), key=lambda i: specs[i].arrival)
@@ -470,6 +592,7 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             assignments[pos % K].append((idx, specs[idx]))
 
         handles: list[ShardHandle] = []
+        completed_run = False
         try:
             if mode == "process":
                 ctx = multiprocessing.get_context()
@@ -493,14 +616,70 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             running: dict[int, MalleableJob] = {}
             last_change: dict[int, float] = {}
             last_bound = 0.0
+            settled = 0  # jobs finished or failed
+            # Lazy within-phase remaining tracking, kept only under a
+            # fault plan: folded at exactly the barrier times where the
+            # job's rate changes (the same sync points as the shard's
+            # fluid task), so a victim's lost work is a K-independent
+            # float.
+            rem: dict[int, float] = {}
+            rem_sync: dict[int, float] = {}
 
             def close_chunk(idx: int, now: float) -> None:
                 mirror = mirrors[idx]
                 mirror.node_seconds += mirror.nodes * (now - last_change[idx])
                 last_change[idx] = now
 
+            def fold_rem(idx: int, now: float) -> None:
+                dt = now - rem_sync[idx]
+                if dt > 0:
+                    rem[idx] -= mirrors[idx].rate() * dt
+                rem_sync[idx] = now
+
+            def fault_lookahead() -> Optional[float]:
+                # Post-workload faults must not drag barriers (and the
+                # makespan) past the true end of the run.
+                if settled >= len(mirrors):
+                    return None
+                return runtime.next_time()
+
+            def apply_faults(now: float) -> bool:
+                nonlocal settled
+                ordered = sorted(
+                    (idx, m.nodes) for idx, m in running.items()
+                )
+                fired, victims = runtime.fire(now, ordered)
+                drops: dict[int, list[int]] = {}
+                restarts: dict[int, list[int]] = {}
+                for idx, entry in victims:
+                    mirror = running.get(idx)
+                    if mirror is None:
+                        entry["outcome"] = "absent"
+                        continue
+                    fold_rem(idx, now)
+                    lost = mirror.spec.phase_work[mirror.phase] - rem[idx]
+                    if runtime.record_loss(idx, lost, entry) == "retry":
+                        rem[idx] = mirror.spec.phase_work[mirror.phase]
+                        mirror.remaining_in_phase = rem[idx]
+                        restarts.setdefault(owner[idx], []).append(idx)
+                    else:
+                        close_chunk(idx, now)
+                        mirror.failed = True
+                        mirror.finished_at = now
+                        mirror.nodes = 0
+                        del running[idx]
+                        del rem[idx], rem_sync[idx]
+                        settled += 1
+                        drops.setdefault(owner[idx], []).append(idx)
+                if fired:
+                    pending_ops["restarts"] = restarts
+                    pending_ops["drops"] = drops
+                return fired
+
+            pending_ops: dict = {"restarts": {}, "drops": {}}
+
             def on_barrier(now: float, reports: list) -> bool:
-                nonlocal last_bound
+                nonlocal last_bound, settled
                 last_bound = now
                 arrived: list[int] = []
                 job_done = False
@@ -517,70 +696,144 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
                             mirror.finished_at = now
                             mirror.nodes = 0
                             del running[idx]
+                            settled += 1
+                            if runtime is not None:
+                                del rem[idx], rem_sync[idx]
                         else:
                             mirror.phase += 1
                             mirror.remaining_in_phase = (
                                 mirror.spec.phase_work[mirror.phase]
                             )
+                            if runtime is not None:
+                                rem[idx] = mirror.remaining_in_phase
+                                rem_sync[idx] = now
+                # Completions settle before faults, faults before
+                # arrivals — the eager engine's tie order.
+                fired = False
+                if runtime is not None:
+                    fired = apply_faults(now)
                 # Equal-arrival ties admit in spec order, matching the
                 # FIFO order of the single-kernel event queue.
                 arrived.sort()
                 for idx in arrived:
                     running[idx] = mirrors[idx]
                     last_change[idx] = now
+                    if runtime is not None:
+                        rem[idx] = mirrors[idx].spec.phase_work[0]
+                        rem_sync[idx] = now
                 admissions: dict[int, list[int]] = {}
                 for idx in arrived:
                     admissions.setdefault(owner[idx], []).append(idx)
-                updates: dict[int, list[tuple[int, int]]] = {}
-                if arrived or job_done:
-                    # A real membership change: replay the global policy.
+                updates: dict[int, list[tuple[int, int, float]]] = {}
+                if arrived or job_done or fired:
+                    # A real membership (or fault) change: replay the
+                    # global policy against the effective capacity.
                     stats.allocations += 1
+                    capacity = self.total_nodes
+                    if runtime is not None:
+                        capacity = runtime.capacity(self.total_nodes)
                     allocation = self.scheduler.allocate(
-                        list(running.values()), self.total_nodes
+                        list(running.values()), capacity
                     )
                     granted = sum(allocation.values())
-                    if granted > self.total_nodes:
+                    if granted > capacity:
                         raise ConfigurationError(
                             f"{self.scheduler.name} over-allocated: "
-                            f"{granted} > {self.total_nodes}"
+                            f"{granted} > {capacity}"
                         )
-                    for idx, mirror in running.items():
-                        nodes = allocation.get(mirror, 0)
-                        if nodes != mirror.nodes:
-                            close_chunk(idx, now)
-                            mirror.nodes = nodes
-                            if nodes > 0 and math.isnan(mirror.started_at):
-                                mirror.started_at = now
-                            updates.setdefault(owner[idx], []).append(
-                                (idx, nodes)
+                    if runtime is None:
+                        for idx, mirror in running.items():
+                            nodes = allocation.get(mirror, 0)
+                            if nodes != mirror.nodes:
+                                close_chunk(idx, now)
+                                mirror.nodes = nodes
+                                if nodes > 0 and math.isnan(
+                                    mirror.started_at
+                                ):
+                                    mirror.started_at = now
+                                updates.setdefault(owner[idx], []).append(
+                                    (idx, nodes, 1.0)
+                                )
+                    else:
+                        changed: set[int] = set()
+                        for idx, mirror in running.items():
+                            nodes = allocation.get(mirror, 0)
+                            if nodes != mirror.nodes:
+                                close_chunk(idx, now)
+                                fold_rem(idx, now)
+                                mirror.nodes = nodes
+                                if nodes > 0 and math.isnan(
+                                    mirror.started_at
+                                ):
+                                    mirror.started_at = now
+                                changed.add(idx)
+                        if runtime.factors_live:
+                            factors = runtime.rate_factors(
+                                sorted(
+                                    (idx, m.nodes)
+                                    for idx, m in running.items()
+                                )
                             )
+                            for idx, mirror in running.items():
+                                f = factors[idx]
+                                if f != mirror.rate_factor:
+                                    fold_rem(idx, now)
+                                    mirror.rate_factor = f
+                                    changed.add(idx)
+                        for idx, mirror in running.items():
+                            if idx in changed:
+                                updates.setdefault(owner[idx], []).append(
+                                    (idx, mirror.nodes, mirror.rate_factor)
+                                )
                 else:
                     # Pure within-job phase boundaries: the scheduler's
                     # inputs (running set, grants, done flags) are
                     # unchanged, so by progress-insensitivity the
                     # allocation is too — skip the call.
                     stats.allocations_elided += 1
-                touched = sorted(set(admissions) | set(updates))
+                restarts = pending_ops["restarts"]
+                drops = pending_ops["drops"]
+                pending_ops["restarts"] = {}
+                pending_ops["drops"] = {}
+                touched = sorted(
+                    set(admissions) | set(updates) | set(restarts)
+                    | set(drops)
+                )
                 for sid in touched:
                     handles[sid].begin_apply(
-                        admissions.get(sid, ()), updates.get(sid, ())
+                        admissions.get(sid, ()),
+                        updates.get(sid, ()),
+                        (),
+                        restarts.get(sid, ()),
+                        drops.get(sid, ()),
                     )
                 for sid in touched:
                     handles[sid].finish_apply()
                 return True
 
             controller = EpochController(handles)
-            controller.run(on_barrier)
+            controller.run(
+                on_barrier,
+                lookahead=fault_lookahead if runtime is not None else None,
+            )
             stats.epochs = controller.stats.epochs
             stats.barrier_wait_s = controller.stats.barrier_wait_s
+            completed_run = True
         finally:
             shard_events = []
+            teardown_error: Optional[BaseException] = None
             for handle in handles:
                 try:
                     events, _jobs = handle.shutdown()
                     shard_events.append(events)
-                except Exception:  # pragma: no cover - teardown best-effort
+                except Exception as exc:
                     shard_events.append(0)
+                    if teardown_error is None:
+                        teardown_error = exc
+            # A lost shard invalidates the result, but never mask the
+            # error that aborted the run body.
+            if completed_run and teardown_error is not None:
+                raise teardown_error
 
         stats.shard_events = tuple(shard_events)
         result = finalize_result(
@@ -589,6 +842,7 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             mirrors,
             last_bound,
             stats.events_total,
+            faults=runtime,
         )
         stats.wall_s = time.perf_counter() - t_start
         self.stats = stats
@@ -615,8 +869,14 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
         mode = self._resolve_mode()
         K = self.shards
         agg = SloAggregator()
+        runtime = (
+            FaultRuntime(self.faults, self.total_nodes)
+            if self.faults is not None
+            else None
+        )
         stats = ShardStats(shards=K, mode=mode)
         handles: list[ShardHandle] = []
+        completed_run = False
         try:
             if mode == "process":
                 ctx = multiprocessing.get_context()
@@ -630,26 +890,85 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             running: dict[int, MalleableJob] = {}
             owner: dict[int, int] = {}
             last_change: dict[int, float] = {}
+            rem: dict[int, float] = {}
+            rem_sync: dict[int, float] = {}
             deferred: deque[tuple[int, JobSpec]] = deque()
             pending: list = [next(stream, None)]
             state = {"next_index": 0, "last_bound": 0.0}
 
             def lookahead() -> Optional[float]:
                 item = pending[0]
-                return item[0] if item is not None else None
+                t = item[0] if item is not None else None
+                if runtime is not None and (
+                    item is not None or running or deferred
+                ):
+                    # Post-workload faults must not drag the makespan —
+                    # only consult the fault clock while work remains.
+                    ft = runtime.next_time()
+                    if ft is not None and (t is None or ft < t):
+                        t = ft
+                return t
 
             def close_chunk(idx: int, now: float) -> None:
                 mirror = running[idx]
                 mirror.node_seconds += mirror.nodes * (now - last_change[idx])
                 last_change[idx] = now
 
+            def fold_rem(idx: int, now: float) -> None:
+                dt = now - rem_sync[idx]
+                if dt > 0:
+                    rem[idx] -= running[idx].rate() * dt
+                rem_sync[idx] = now
+
+            def forget(idx: int) -> None:
+                del running[idx]
+                del owner[idx]
+                del last_change[idx]
+                if runtime is not None:
+                    del rem[idx], rem_sync[idx]
+
             def admit_job(
                 idx: int, spec: JobSpec, now: float, new_specs: dict
             ) -> None:
-                running[idx] = MalleableJob(spec)
+                running[idx] = MalleableJob(spec, index=idx)
                 owner[idx] = idx % K
                 last_change[idx] = now
+                if runtime is not None:
+                    rem[idx] = spec.phase_work[0]
+                    rem_sync[idx] = now
                 new_specs.setdefault(idx % K, []).append((idx, spec))
+
+            def available_nodes() -> int:
+                if runtime is not None:
+                    return runtime.capacity(self.total_nodes)
+                return self.total_nodes
+
+            def apply_faults(now: float, ops: dict) -> bool:
+                ordered = sorted(
+                    (idx, m.nodes) for idx, m in running.items()
+                )
+                fired, victims = runtime.fire(now, ordered)
+                for idx, entry in victims:
+                    mirror = running.get(idx)
+                    if mirror is None:
+                        entry["outcome"] = "absent"
+                        continue
+                    fold_rem(idx, now)
+                    lost = mirror.spec.phase_work[mirror.phase] - rem[idx]
+                    if runtime.record_loss(idx, lost, entry) == "retry":
+                        rem[idx] = mirror.spec.phase_work[mirror.phase]
+                        mirror.remaining_in_phase = rem[idx]
+                        ops["restarts"].setdefault(owner[idx], []).append(
+                            idx
+                        )
+                    else:
+                        close_chunk(idx, now)
+                        mirror.failed = True
+                        mirror.finished_at = now
+                        mirror.nodes = 0
+                        ops["drops"].setdefault(owner[idx], []).append(idx)
+                        forget(idx)
+                return fired
 
             def pull_arrivals(now: float, new_specs: dict) -> bool:
                 """Admit/defer/reject every arrival due at or before now."""
@@ -667,7 +986,7 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
                     idx = state["next_index"]
                     state["next_index"] += 1
                     if self.scheduler.admit(
-                        spec, list(running.values()), self.total_nodes
+                        spec, list(running.values()), available_nodes()
                     ):
                         admit_job(idx, spec, now, new_specs)
                         admitted = True
@@ -679,7 +998,7 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
 
             def drain_deferred(now: float, new_specs: dict) -> None:
                 while deferred and self.scheduler.admit(
-                    deferred[0][1], list(running.values()), self.total_nodes
+                    deferred[0][1], list(running.values()), available_nodes()
                 ):
                     idx, spec = deferred.popleft()
                     admit_job(idx, spec, now, new_specs)
@@ -705,51 +1024,100 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
                             mirror.remaining_in_phase = (
                                 mirror.spec.phase_work[mirror.phase]
                             )
+                            if runtime is not None:
+                                rem[idx] = mirror.remaining_in_phase
+                                rem_sync[idx] = now
                 # Fold retirements in index order: the aggregator's call
                 # sequence — hence the SloSummary — is K-independent.
                 for idx, mirror in sorted(retired):
-                    del running[idx]
-                    del owner[idx]
-                    del last_change[idx]
+                    forget(idx)
                     agg.observe_completion(mirror)
+                ops: dict = {"restarts": {}, "drops": {}}
+                fired = False
+                if runtime is not None:
+                    # Completions settle before faults, faults before
+                    # arrivals — the eager engine's tie order.
+                    fired = apply_faults(now, ops)
                 new_specs: dict[int, list[tuple[int, JobSpec]]] = {}
                 admitted = pull_arrivals(now, new_specs)
-                if admitted or job_done:
+                if admitted or job_done or fired:
                     # Membership changed: deferred jobs get their retry,
                     # then the global policy replays.
                     drain_deferred(now, new_specs)
                     stats.allocations += 1
+                    avail = available_nodes()
                     allocation = self.scheduler.allocate(
-                        list(running.values()), self.total_nodes
+                        list(running.values()), avail
                     )
                     granted = sum(allocation.values())
-                    capacity = self.scheduler.capacity(self.total_nodes)
+                    capacity = self.scheduler.capacity(avail)
                     if granted > capacity:
                         raise ConfigurationError(
                             f"{self.scheduler.name} over-allocated: "
                             f"{granted} > {capacity}"
                         )
-                    updates: dict[int, list[tuple[int, int]]] = {}
-                    for idx, mirror in running.items():
-                        nodes = allocation.get(mirror, 0)
-                        if nodes != mirror.nodes:
-                            close_chunk(idx, now)
-                            mirror.nodes = nodes
-                            if nodes > 0 and math.isnan(mirror.started_at):
-                                mirror.started_at = now
-                            updates.setdefault(owner[idx], []).append(
-                                (idx, nodes)
+                    updates: dict[int, list[tuple[int, int, float]]] = {}
+                    if runtime is None:
+                        for idx, mirror in running.items():
+                            nodes = allocation.get(mirror, 0)
+                            if nodes != mirror.nodes:
+                                close_chunk(idx, now)
+                                mirror.nodes = nodes
+                                if nodes > 0 and math.isnan(
+                                    mirror.started_at
+                                ):
+                                    mirror.started_at = now
+                                updates.setdefault(owner[idx], []).append(
+                                    (idx, nodes, 1.0)
+                                )
+                    else:
+                        changed: set[int] = set()
+                        for idx, mirror in running.items():
+                            nodes = allocation.get(mirror, 0)
+                            if nodes != mirror.nodes:
+                                close_chunk(idx, now)
+                                fold_rem(idx, now)
+                                mirror.nodes = nodes
+                                if nodes > 0 and math.isnan(
+                                    mirror.started_at
+                                ):
+                                    mirror.started_at = now
+                                changed.add(idx)
+                        if runtime.factors_live:
+                            factors = runtime.rate_factors(
+                                sorted(
+                                    (idx, m.nodes)
+                                    for idx, m in running.items()
+                                )
                             )
+                            for idx, mirror in running.items():
+                                f = factors[idx]
+                                if f != mirror.rate_factor:
+                                    fold_rem(idx, now)
+                                    mirror.rate_factor = f
+                                    changed.add(idx)
+                        for idx, mirror in running.items():
+                            if idx in changed:
+                                updates.setdefault(owner[idx], []).append(
+                                    (idx, mirror.nodes, mirror.rate_factor)
+                                )
                     agg.observe_utilization(now, granted, capacity)
                 else:
                     # Pure phase boundaries (or rejected arrivals): no
                     # scheduler-visible change, by progress-insensitivity.
                     stats.allocations_elided += 1
                     updates = {}
-                touched = sorted(set(new_specs) | set(updates))
+                touched = sorted(
+                    set(new_specs) | set(updates) | set(ops["restarts"])
+                    | set(ops["drops"])
+                )
                 for sid in touched:
                     handles[sid].begin_apply(
-                        (), updates.get(sid, ()), new_specs.get(sid, ())
+                        (),
+                        updates.get(sid, ()),
+                        new_specs.get(sid, ()),
+                        ops["restarts"].get(sid, ()),
+                        ops["drops"].get(sid, ()),
                     )
                 for sid in touched:
                     handles[sid].finish_apply()
@@ -759,17 +1127,23 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             controller.run(on_barrier, lookahead=lookahead)
             stats.epochs = controller.stats.epochs
             stats.barrier_wait_s = controller.stats.barrier_wait_s
+            completed_run = True
         finally:
             shard_events = []
             shard_jobs = []
+            teardown_error: Optional[BaseException] = None
             for handle in handles:
                 try:
                     events, jobs_seen = handle.shutdown()
                     shard_events.append(events)
                     shard_jobs.append(jobs_seen)
-                except Exception:  # pragma: no cover - teardown best-effort
+                except Exception as exc:
                     shard_events.append(0)
                     shard_jobs.append(0)
+                    if teardown_error is None:
+                        teardown_error = exc
+            if completed_run and teardown_error is not None:
+                raise teardown_error
 
         stats.shard_events = tuple(shard_events)
         stats.shard_jobs = tuple(shard_jobs)
@@ -780,6 +1154,10 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
                 "completed (policy starved them); check min_nodes and "
                 "cluster size"
             )
+        if runtime is not None:
+            agg.retries = runtime.retries
+            agg.lost_work = runtime.lost_work
+            agg.failed_jobs = runtime.failed_jobs
         summary = agg.summary(state["last_bound"])
         result = ServerResult(
             scheduler=self.scheduler.name,
@@ -792,6 +1170,10 @@ progress_insensitive` policy: the scheduler sees *phase-granular* job
             slo=summary,
             jobs_completed=summary.jobs_completed,
             jobs_rejected=summary.jobs_rejected,
+            retries=summary.retries,
+            lost_work=summary.lost_work,
+            failed_jobs=summary.failed_jobs,
+            fault_trace=tuple(runtime.trace) if runtime is not None else (),
         )
         stats.wall_s = time.perf_counter() - t_start
         self.stats = stats

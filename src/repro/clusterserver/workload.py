@@ -111,11 +111,18 @@ class JobSpec:
 class MalleableJob:
     """Runtime state of one job inside the server simulation."""
 
-    def __init__(self, spec: JobSpec) -> None:
+    def __init__(self, spec: JobSpec, index: int = -1) -> None:
         self.spec = spec
+        #: arrival-order index (the fault layer's stable job identity)
+        self.index = index
         self.phase = 0
         self.remaining_in_phase = spec.phase_work[0]
         self.nodes = 0
+        #: degraded-node slowdown in (0, 1]; 1.0 (the default) is exact
+        #: under IEEE multiplication, so fault-free runs are bit-unchanged
+        self.rate_factor = 1.0
+        #: set when the fault layer exhausts the job's retry budget
+        self.failed = False
         self.started_at: float = float("nan")
         self.finished_at: float = float("nan")
         #: integral of allocated nodes over time (for efficiency accounting)
@@ -137,7 +144,7 @@ class MalleableJob:
         """Work completed per second at the current allocation."""
         if self.done or self.nodes <= 0:
             return 0.0
-        return self.nodes * self.spec.efficiency(self.nodes)
+        return self.nodes * self.spec.efficiency(self.nodes) * self.rate_factor
 
     def current_efficiency(self) -> float:
         """Efficiency at the current allocation (0 when idle)."""

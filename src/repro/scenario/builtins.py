@@ -600,6 +600,15 @@ def _install_policies(registry: Registry) -> None:
     )
 
 
+def _install_faults(registry: Registry) -> None:
+    from repro.faults import BUILTIN_FAULT_KINDS
+
+    for kind in BUILTIN_FAULT_KINDS.values():
+        registry.register(
+            "fault", kind.name, kind, description=kind.description
+        )
+
+
 def install_builtins(registry: Registry) -> Registry:
     """Install every built-in plugin into ``registry``; returns it."""
     _install_apps(registry)
@@ -609,4 +618,5 @@ def install_builtins(registry: Registry) -> Registry:
     _install_engines(registry)
     _install_workloads(registry)
     _install_policies(registry)
+    _install_faults(registry)
     return registry

@@ -36,6 +36,7 @@ KINDS = (
     "engine",
     "workload",
     "policy",
+    "fault",
 )
 
 

@@ -154,6 +154,55 @@ def calibration_key(
     return None
 
 
+def _fault_plan(spec: ScenarioSpec, registry: Registry):
+    """The spec's resolved :class:`~repro.faults.FaultPlan`, or None.
+
+    A default (empty) ``[faults]`` section yields None so fault-free runs
+    take literally the same code path — and produce bit-identical results
+    — as before the fault layer existed.
+    """
+    from repro.faults import FaultPlan
+    from repro.scenario.spec import FaultsSection
+
+    if spec.faults == FaultsSection():
+        return None
+    return FaultPlan.from_section(spec.faults, spec.engine.seed, registry)
+
+
+def _apply_dps_faults(
+    spec: ScenarioSpec, plugin: AppPlugin, cfg: Any, registry: Registry
+) -> Any:
+    """Fold ``crash`` faults into a DPS config's allocation schedule.
+
+    The DPS engines model a node crash as the paper's dynamic-allocation
+    primitive: every worker thread on the crashed node is removed after
+    the fault's ``after`` phase (``RemoveThreads`` semantics), so the
+    malleability machinery — migration planning, dynamic efficiency —
+    accounts for the failure with no new mechanism.
+    """
+    plan = _fault_plan(spec, registry)
+    if plan is None:
+        return cfg
+    if not plugin.supports_schedule:
+        raise ConfigurationError(
+            f"app {plugin.name!r} does not support dynamic allocation, so "
+            "crash faults cannot be applied; drop the spec's [faults] "
+            "section or pick a malleable app"
+        )
+    from repro.dps.malleability import AllocationSchedule
+    from repro.faults import compile_dps_removals
+
+    removals = compile_dps_removals(
+        plan, cfg.num_nodes, cfg.num_threads, registry=registry
+    )
+    base = cfg.schedule
+    name = f"{base.name} + faults" if base.events else "faults"
+    schedule = AllocationSchedule(
+        events=tuple(base.events) + removals, name=name
+    )
+    return dataclasses.replace(cfg, schedule=schedule)
+
+
 def _make_provider(
     spec: ScenarioSpec,
     plugin: AppPlugin,
@@ -269,7 +318,7 @@ def run_sim(spec: ScenarioSpec, registry: Registry) -> RunRecord:
     _require_unused(spec, "sim", ("cluster",))
     _require_unsharded(spec, "sim")
     plugin: AppPlugin = registry.resolve("app", spec.app.name)
-    cfg = plugin.make_config(spec)
+    cfg = _apply_dps_faults(spec, plugin, plugin.make_config(spec), registry)
     platform = _platform(spec, cfg.num_nodes)
     app = plugin.build(cfg)
     provider = _make_provider(spec, plugin, cfg, platform, registry)
@@ -329,7 +378,7 @@ def run_testbed(spec: ScenarioSpec, registry: Registry) -> RunRecord:
     )
     _require_unsharded(spec, "testbed")
     plugin: AppPlugin = registry.resolve("app", spec.app.name)
-    cfg = plugin.make_config(spec)
+    cfg = _apply_dps_faults(spec, plugin, plugin.make_config(spec), registry)
     mode = spec.mode()
     engine_options = dict(spec.engine.options)
     trace = TraceLevel[str(engine_options.pop("trace_level", "SUMMARY")).upper()]
@@ -442,6 +491,7 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
             max_nodes=cluster.job_max_nodes,
         )
     policy = registry.resolve("policy", cluster.policy)(cluster)
+    plan = _fault_plan(spec, registry)
     stats = None
     wall_start = time.perf_counter()
     if spec.engine.shards > 1:
@@ -450,11 +500,14 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
             policy,
             shards=spec.engine.shards,
             mode=spec.engine.shard_mode,
+            faults=plan,
         )
         result = server.run(workload)
         stats = server.stats
     else:
-        result = ClusterServer(cluster.nodes, policy).run(workload)
+        result = ClusterServer(cluster.nodes, policy, faults=plan).run(
+            workload
+        )
     wall = time.perf_counter() - wall_start
 
     metrics: dict[str, float] = {
@@ -473,6 +526,12 @@ def run_server(spec: ScenarioSpec, registry: Registry) -> RunRecord:
         # Open-system runs carry the streaming SLO summary: quantile
         # sojourns, rejection rate, utilization aggregates.
         metrics.update(result.slo.to_metrics())
+    elif plan is not None:
+        # Closed runs surface the fault counters only under a plan, so
+        # fault-free records keep their exact historical metric keys.
+        metrics["retries"] = result.retries
+        metrics["lost_work"] = result.lost_work
+        metrics["failed_jobs"] = result.failed_jobs
     if stats is not None:
         _flatten_stats("shard_", stats, metrics)
     return RunRecord(

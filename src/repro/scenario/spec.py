@@ -258,6 +258,43 @@ class ClusterSection:
         return self.max_nodes or min(8, self.nodes)
 
 
+@dataclass(frozen=True)
+class FaultsSection:
+    """Deterministic failure injection (see ``docs/faults.md``).
+
+    ``events`` is a list of fault tables — ``{kind = "crash", node = 3,
+    at = 120.0}`` and friends; the key vocabulary and numeric types are
+    validated here (registry-free), per-kind semantics when the engine
+    builds its :class:`~repro.faults.FaultPlan`, so registry-registered
+    custom kinds parse cleanly.  ``seed = -1`` (the default) inherits
+    ``engine.seed``; ``max_retries`` bounds per-job restarts on the
+    server engines.
+    """
+
+    max_retries: int = 2
+    seed: int = -1
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        from repro.faults import BUILTIN_FAULT_KINDS, event_from_dict
+
+        if self.max_retries < 0:
+            raise ConfigurationError("faults.max_retries must be >= 0")
+        if not isinstance(self.events, (list, tuple)):
+            raise ConfigurationError(
+                "faults.events must be an array of fault tables, "
+                f"got {type(self.events).__name__}"
+            )
+        normalized = []
+        for raw in self.events:
+            ev = event_from_dict(raw)
+            kind = BUILTIN_FAULT_KINDS.get(ev.kind)
+            if kind is not None:  # custom kinds validate at engine time
+                kind.validate(ev)
+            normalized.append(ev.to_dict())
+        object.__setattr__(self, "events", tuple(normalized))
+
+
 _SECTION_TYPES: dict[str, type] = {
     "app": AppSection,
     "engine": EngineSection,
@@ -266,6 +303,7 @@ _SECTION_TYPES: dict[str, type] = {
     "provider": ProviderSection,
     "platform": PlatformSection,
     "cluster": ClusterSection,
+    "faults": FaultsSection,
 }
 
 
@@ -349,6 +387,7 @@ class ScenarioSpec:
     provider: ProviderSection = field(default_factory=ProviderSection)
     platform: PlatformSection = field(default_factory=PlatformSection)
     cluster: ClusterSection = field(default_factory=ClusterSection)
+    faults: FaultsSection = field(default_factory=FaultsSection)
     events: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -393,6 +432,16 @@ class ScenarioSpec:
                 # deprecated alias, so the canonical form drops it.
                 entry.pop("interarrival", None)
             payload[section] = entry
+        if self.faults != FaultsSection():
+            # Omitted when default so pre-fault specs keep their spec_key;
+            # events serialize as the canonical per-event dicts.
+            faults: dict[str, Any] = {
+                "max_retries": self.faults.max_retries,
+                "seed": self.faults.seed,
+            }
+            if self.faults.events:
+                faults["events"] = [dict(e) for e in self.faults.events]
+            payload["faults"] = faults
         if self.events:
             payload["events"] = list(self.events)
         return payload

@@ -8,15 +8,22 @@ Non-2xx responses raise :class:`~repro.errors.ServiceError` carrying the
 server's status and error text, so a 400's message is exactly the
 configuration loader's complaint and a 429 is distinguishable from a
 real failure by ``exc.status``.
+
+Backpressure retries are opt-in: with ``retries > 0`` the client retries
+429 responses with exponential backoff, honoring the server's
+``retry-after`` hint when it is longer.  Every other status — including
+5xx — still raises immediately: a 429 is the one answer the server
+defines as "ask again later".
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Mapping, Optional, Union
 
-from repro.errors import ServiceError
+from repro.errors import ConfigurationError, ServiceError
 from repro.scenario.spec import ScenarioSpec
 
 
@@ -26,22 +33,32 @@ class ServiceClient:
     ``timeout`` is the per-connection socket timeout in seconds (it
     bounds how long one HTTP exchange may take, including a blocking
     ``run`` — pass something generous for long simulations).
+    ``retries`` allows that many repeat attempts after a 429 (default 0:
+    fail fast); attempt ``n`` waits ``backoff * 2**(n-1)`` seconds or
+    the server's ``retry-after``, whichever is longer.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8421, timeout: float = 300.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        timeout: float = 300.0,
+        retries: int = 0,
+        backoff: float = 0.5,
     ) -> None:
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if backoff < 0:
+            raise ConfigurationError("backoff must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------ plumbing
-    def _request(
-        self,
-        method: str,
-        path: str,
-        body: Optional[bytes] = None,
-        expect: tuple = (200,),
+    def _one_request(
+        self, method: str, path: str, body: Optional[bytes]
     ) -> tuple[int, dict, dict]:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
@@ -57,14 +74,62 @@ class ServiceClient:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except ValueError:
             payload = {"error": raw.decode("utf-8", "replace")}
-        if status not in expect:
-            raise ServiceError(status, payload.get("error", f"unexpected {status}"))
         return status, payload, resp_headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        expect: tuple = (200,),
+    ) -> tuple[int, dict, dict]:
+        attempt = 0
+        while True:
+            status, payload, headers = self._one_request(method, path, body)
+            if (
+                status == 429
+                and status not in expect
+                and attempt < self.retries
+            ):
+                attempt += 1
+                delay = self.backoff * (2 ** (attempt - 1))
+                hint = headers.get("retry-after")
+                if hint:
+                    try:
+                        delay = max(delay, float(hint))
+                    except ValueError:
+                        pass
+                time.sleep(delay)
+                continue
+            if status not in expect:
+                raise ServiceError(
+                    status, payload.get("error", f"unexpected {status}")
+                )
+            return status, payload, headers
 
     @staticmethod
     def _spec_body(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> bytes:
         payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
         return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def _run_query(
+        priority: int,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        wait: bool = True,
+    ) -> str:
+        query = f"?priority={priority}"
+        if not wait:
+            query += "&wait=0"
+        if timeout is not None:
+            query += f"&timeout={timeout}"
+        if deadline is not None:
+            query += f"&deadline={deadline}"
+        if max_retries is not None:
+            query += f"&max_retries={max_retries}"
+        return query
 
     # ------------------------------------------------------------ endpoints
     def run(
@@ -72,41 +137,58 @@ class ServiceClient:
         spec: Union[ScenarioSpec, Mapping[str, Any]],
         priority: int = 0,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> dict:
         """Submit a scenario and block until its record is ready.
 
         Returns the record's wire dict (= ``RunRecord.to_dict()``); the
         job id that produced it is available via :meth:`run_with_job`.
-        ``timeout`` bounds the *server-side* wait (504 past it).
+        ``timeout`` bounds the *server-side* wait (504 past it);
+        ``deadline`` bounds each execution attempt's wall-clock seconds
+        and ``max_retries`` the job's crash-retry budget
+        (``docs/faults.md``).
         """
-        return self.run_with_job(spec, priority=priority, timeout=timeout)[0]
+        return self.run_with_job(
+            spec,
+            priority=priority,
+            timeout=timeout,
+            deadline=deadline,
+            max_retries=max_retries,
+        )[0]
 
     def run_with_job(
         self,
         spec: Union[ScenarioSpec, Mapping[str, Any]],
         priority: int = 0,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> tuple[dict, str]:
         """Like :meth:`run` but also returns the job id that served it.
 
         Two calls returning the same job id were deduplicated into one
         execution by the server.
         """
-        query = f"?priority={priority}"
-        if timeout is not None:
-            query += f"&timeout={timeout}"
+        query = self._run_query(priority, timeout, deadline, max_retries)
         _, record, headers = self._request(
             "POST", f"/run{query}", self._spec_body(spec)
         )
         return record, headers.get("x-repro-job", "")
 
     def submit(
-        self, spec: Union[ScenarioSpec, Mapping[str, Any]], priority: int = 0
+        self,
+        spec: Union[ScenarioSpec, Mapping[str, Any]],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> dict:
         """Fire-and-poll submission: returns the job description (202)."""
+        query = self._run_query(
+            priority, deadline=deadline, max_retries=max_retries, wait=False
+        )
         _, payload, _ = self._request(
-            "POST", f"/run?wait=0&priority={priority}", self._spec_body(spec),
-            expect=(202,),
+            "POST", f"/run{query}", self._spec_body(spec), expect=(202,)
         )
         return payload
 

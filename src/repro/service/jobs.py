@@ -128,6 +128,13 @@ class Job:
         started = getattr(self.ticket, "started_at", None)
         if started is not None:
             out["queued_s"] = started - self.submitted_at
+        attempts = getattr(self.ticket, "attempts", 0)
+        if attempts:
+            # > 1 means the job survived at least one worker crash.
+            out["attempts"] = attempts
+        failure = getattr(self.ticket, "failure", None)
+        if failure is not None:
+            out["failure"] = failure
         if self.latency_s is not None:
             out["latency_s"] = self.latency_s
         if self.record is not None:

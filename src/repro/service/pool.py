@@ -24,22 +24,39 @@ Two worker modes:
   True parallelism for CPU-bound simulations; requires the default
   registry (plugins must be importable in the workers).
 
-Running work cannot be interrupted in either mode (there is no safe way
+Running work cannot be *cancelled* in either mode (there is no safe way
 to kill a worker mid-simulation without losing its warm state), so
 :meth:`ResidentPool.cancel` succeeds only while a ticket is still queued
 — exactly the queued-vs-running contract the service documents.
+
+The pool is additionally crash-safe (``docs/faults.md``): a daemon
+monitor thread maps each in-flight ticket to its worker process via the
+runner's liveness channel, notices a worker that died mid-job (SIGKILL,
+OOM, segfault), and re-dispatches the job under a bounded per-ticket
+retry budget with exponential backoff and jitter.  Per-attempt
+``deadline`` budgets kill the worker (process mode) or discard the
+eventual result (thread mode) and fail the ticket with
+:class:`~repro.errors.DeadlineExceededError`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import random
+import signal
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Optional
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.scenario.spec import ScenarioSpec
 from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING
 
@@ -56,19 +73,50 @@ class PoolTicket:
     """Handle for one submitted scenario: a result future plus queued-cancel.
 
     ``future`` resolves to the record's wire dict
-    (``RunRecord.to_dict()``), or raises the engine's exception, or is
-    cancelled if the ticket was cancelled while still queued.
+    (``RunRecord.to_dict()``), or raises the engine's exception
+    (:class:`~repro.errors.WorkerCrashError` after the retry budget,
+    :class:`~repro.errors.DeadlineExceededError` past the deadline), or
+    is cancelled if the ticket was cancelled while still queued.
+    ``attempts`` counts dispatches to a worker; a completed job with
+    ``attempts > 1`` survived at least one worker crash.
     """
 
-    __slots__ = ("spec", "priority", "seq", "future", "state", "started_at")
+    __slots__ = (
+        "spec",
+        "priority",
+        "seq",
+        "future",
+        "state",
+        "started_at",
+        "deadline",
+        "max_retries",
+        "attempts",
+        "failure",
+        "_pid",
+    )
 
-    def __init__(self, spec: ScenarioSpec, priority: int, seq: int) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        priority: int,
+        seq: int,
+        deadline: Optional[float] = None,
+        max_retries: int = 0,
+    ) -> None:
         self.spec = spec
         self.priority = priority
         self.seq = seq
         self.future: Future = Future()
         self.state = QUEUED
         self.started_at: Optional[float] = None
+        #: wall-clock budget in seconds per attempt, None = unbounded
+        self.deadline = deadline
+        #: extra dispatches allowed after a worker crash
+        self.max_retries = max_retries
+        self.attempts = 0
+        #: short human-readable failure cause ("crash", "deadline"), or None
+        self.failure: Optional[str] = None
+        self._pid: Optional[int] = None  # worker pid, process mode
 
 
 class ResidentPool:
@@ -87,6 +135,16 @@ class ResidentPool:
         Optional plugin registry for thread mode (in-process execution
         can resolve caller-registered plugins).  Process mode rejects a
         custom registry — worker processes resolve the default one.
+    max_retries:
+        Default extra dispatches after a worker crash (per ticket,
+        overridable at :meth:`submit`).  Crash detection — and hence
+        retry — applies to process mode; threads do not die under us.
+    heartbeat:
+        Monitor-thread period in seconds: how often worker liveness,
+        deadlines and due retries are checked.
+    backoff:
+        Base retry delay in seconds; attempt ``n`` retries after
+        ``backoff * 2**(n-1)`` plus up to 25% jitter.
     """
 
     def __init__(
@@ -95,9 +153,10 @@ class ResidentPool:
         queue_limit: int = 64,
         mode: str = "thread",
         registry: Any = None,
+        max_retries: int = 1,
+        heartbeat: float = 0.5,
+        backoff: float = 0.25,
     ) -> None:
-        import os
-
         if mode not in ("thread", "process"):
             raise ConfigurationError(
                 f"unknown pool mode {mode!r}; choose from ['thread', 'process']"
@@ -109,11 +168,24 @@ class ResidentPool:
                 "a custom registry requires mode='thread'; worker processes "
                 "resolve the default registry"
             )
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if heartbeat <= 0 or backoff < 0:
+            raise ConfigurationError("need heartbeat > 0 and backoff >= 0")
         self.workers = workers or os.cpu_count() or 1
         self.queue_limit = queue_limit
         self.mode = mode
         self.registry = registry
+        self.max_retries = max_retries
+        self.heartbeat = heartbeat
+        self.backoff = backoff
+        #: fault counters (monotonic; surfaced by the service's /stats)
+        self.retries = 0
+        self.crashes = 0
+        self.deadline_kills = 0
         self._heap: list[tuple[int, int, PoolTicket]] = []
+        self._backoff: list[tuple[float, int, PoolTicket]] = []
+        self._running: dict[int, PoolTicket] = {}
         self._seq = itertools.count(1)
         self._active = 0
         self._executed = 0
@@ -122,6 +194,8 @@ class ResidentPool:
         self._started = False
         self._executor: Optional[ThreadPoolExecutor] = None
         self._runner = None  # ParallelSweepRunner, process mode
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
 
     # ----------------------------------------------------------- lifetime
     def start(self) -> "ResidentPool":
@@ -143,6 +217,12 @@ class ResidentPool:
                     jobs=self.workers, persistent=True
                 )
                 self._runner._ensure_pool()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                name="repro-serve-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
             self._started = True
         return self
 
@@ -159,9 +239,16 @@ class ResidentPool:
                 return
             self._closed = True
             stale, self._heap = self._heap, []
+            waiting, self._backoff = self._backoff, []
+        self._stop.set()
         for _, _, ticket in stale:
             ticket.state = CANCELLED
             ticket.future.cancel()
+        for _, _, ticket in waiting:
+            ticket.state = CANCELLED
+            ticket.future.cancel()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         if self._runner is not None:
@@ -191,12 +278,26 @@ class ResidentPool:
         return self._executed
 
     # --------------------------------------------------------- submission
-    def submit(self, spec: ScenarioSpec, priority: int = 0) -> PoolTicket:
+    def submit(
+        self,
+        spec: ScenarioSpec,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> PoolTicket:
         """Enqueue one scenario; higher ``priority`` runs first.
 
-        Raises :class:`PoolSaturatedError` when the bounded queue is full
-        and :class:`PoolClosedError` after :meth:`close`.
+        ``deadline`` bounds each attempt's wall-clock seconds (past it
+        the job fails with :class:`~repro.errors.DeadlineExceededError`;
+        process-mode workers are killed, thread-mode results discarded).
+        ``max_retries`` overrides the pool's crash-retry budget for this
+        ticket.  Raises :class:`PoolSaturatedError` when the bounded
+        queue is full and :class:`PoolClosedError` after :meth:`close`.
         """
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError("deadline must be > 0 seconds")
+        if max_retries is not None and max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
         self.start()
         with self._lock:
             if self._closed:
@@ -207,7 +308,15 @@ class ResidentPool:
                     f"job queue is full ({queued} queued, limit "
                     f"{self.queue_limit}); retry later"
                 )
-            ticket = PoolTicket(spec, priority, next(self._seq))
+            ticket = PoolTicket(
+                spec,
+                priority,
+                next(self._seq),
+                deadline=deadline,
+                max_retries=(
+                    self.max_retries if max_retries is None else max_retries
+                ),
+            )
             heapq.heappush(self._heap, (-priority, ticket.seq, ticket))
             self._pump_locked()
         return ticket
@@ -230,8 +339,10 @@ class ResidentPool:
                 continue  # cancelled while queued; drop the stale entry
             ticket.state = RUNNING
             ticket.started_at = time.monotonic()
+            ticket.attempts += 1
             self._active += 1
             self._executed += 1
+            self._running[ticket.seq] = ticket
             self._dispatch(ticket)
 
     def _dispatch(self, ticket: PoolTicket) -> None:
@@ -248,6 +359,7 @@ class ResidentPool:
                 ticket.spec,
                 callback=lambda record, t=ticket: self._finish(t, record, None),
                 error_callback=lambda exc, t=ticket: self._finish(t, None, exc),
+                tag=ticket.seq,
             )
 
     def _run_and_finish(self, ticket: PoolTicket) -> None:
@@ -271,12 +383,135 @@ class ResidentPool:
         error: Optional[BaseException],
     ) -> None:
         with self._lock:
+            if self._running.pop(ticket.seq, None) is None:
+                # The monitor already reclaimed this slot (crash retry or
+                # process-mode deadline kill); a late straggler result
+                # must not double-free the worker slot.
+                return
             self._active -= 1
+            ticket._pid = None
             if not self._closed:
                 self._pump_locked()
+        if ticket.future.done():
+            return  # settled by a thread-mode deadline; result discarded
         if error is not None:
             ticket.state = FAILED
+            ticket.failure = type(error).__name__
             ticket.future.set_exception(error)
         else:
             ticket.state = DONE
             ticket.future.set_result(record)
+
+    # ------------------------------------------------------------ liveness
+    def _monitor_loop(self) -> None:
+        """Heartbeat thread: worker liveness, deadlines, due retries."""
+        while not self._stop.wait(self.heartbeat):
+            try:
+                self._tick(time.monotonic())
+            except Exception:  # never let monitoring kill the pool
+                pass
+
+    def _tick(self, now: float) -> None:
+        """One monitor pass (extracted so tests can drive it directly)."""
+        runner = self._runner
+        if runner is not None:
+            for tag, pid in runner.note_pids():
+                with self._lock:
+                    ticket = self._running.get(tag)
+                if ticket is not None:
+                    ticket._pid = pid
+        with self._lock:
+            tickets = list(self._running.values())
+        for ticket in tickets:
+            if ticket.future.done():
+                continue
+            started = ticket.started_at
+            if (
+                ticket.deadline is not None
+                and started is not None
+                and now - started >= ticket.deadline
+            ):
+                self._deadline_exceeded(ticket)
+                continue
+            pid = ticket._pid
+            if (
+                runner is not None
+                and pid is not None
+                and not runner.worker_alive(pid)
+            ):
+                self._worker_crashed(ticket)
+        with self._lock:
+            requeued = False
+            while self._backoff and self._backoff[0][0] <= now:
+                _, _, ticket = heapq.heappop(self._backoff)
+                if ticket.state != QUEUED:
+                    continue  # cancelled while waiting out the backoff
+                heapq.heappush(
+                    self._heap, (-ticket.priority, ticket.seq, ticket)
+                )
+                requeued = True
+            if requeued and not self._closed:
+                self._pump_locked()
+
+    def _worker_crashed(self, ticket: PoolTicket) -> None:
+        """The worker running ``ticket`` died: retry within budget or fail."""
+        with self._lock:
+            if self._running.pop(ticket.seq, None) is None:
+                return  # settled in the meantime
+            self.crashes += 1
+            self._active -= 1
+            ticket._pid = None
+            retry = ticket.attempts <= ticket.max_retries and not self._closed
+            if retry:
+                self.retries += 1
+                ticket.state = QUEUED
+                delay = self.backoff * (2 ** (ticket.attempts - 1))
+                delay *= 1.0 + 0.25 * random.random()
+                heapq.heappush(
+                    self._backoff,
+                    (time.monotonic() + delay, ticket.seq, ticket),
+                )
+            if not self._closed:
+                self._pump_locked()
+        if not retry:
+            ticket.state = FAILED
+            ticket.failure = "crash"
+            ticket.future.set_exception(
+                WorkerCrashError(
+                    f"worker died running the job (attempt "
+                    f"{ticket.attempts} of {ticket.max_retries + 1})",
+                    attempts=ticket.attempts,
+                )
+            )
+
+    def _deadline_exceeded(self, ticket: PoolTicket) -> None:
+        """``ticket`` blew its per-attempt deadline: kill (process) and fail."""
+        pid: Optional[int] = None
+        with self._lock:
+            if ticket.seq not in self._running or ticket.future.done():
+                return
+            ticket.failure = "deadline"
+            if self._runner is not None:
+                # Process mode: the worker is killed, so no result will
+                # ever arrive — reclaim the slot here.  Thread mode keeps
+                # the slot until the (undying) worker thread returns.
+                del self._running[ticket.seq]
+                self._active -= 1
+                pid = ticket._pid
+                ticket._pid = None
+                if not self._closed:
+                    self._pump_locked()
+        if self._runner is not None and pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                self.deadline_kills += 1
+            except (ProcessLookupError, PermissionError):  # already gone
+                pass
+        ticket.state = FAILED
+        ticket.future.set_exception(
+            DeadlineExceededError(
+                f"job exceeded its {ticket.deadline}s deadline "
+                f"(attempt {ticket.attempts})",
+                deadline=ticket.deadline,
+            )
+        )

@@ -15,8 +15,13 @@ Endpoints (all JSON; one request per connection, ``connection: close``):
   is full).  Blocks until the record is ready by default;
   ``?wait=0`` returns 202 + the job description for polling, and
   ``?priority=N`` / ``?timeout=S`` tune scheduling and the wait bound.
+  ``?deadline=S`` bounds each execution attempt's wall-clock seconds
+  (504 + ``DeadlineExceededError`` past it) and ``?max_retries=N``
+  overrides the pool's crash-retry budget (``docs/faults.md``).
   Every response carries the job id in an ``x-repro-job`` header.
-* ``GET /jobs/<id>`` — job state (+ record once done, error if failed).
+* ``GET /jobs/<id>`` — job state (+ record once done, error if failed,
+  ``attempts``/``failure`` once dispatched — ``attempts > 1`` means the
+  job survived a worker crash).
 * ``DELETE /jobs/<id>`` — cancel: 200 while queued, 409 once running or
   finished (running simulations cannot be interrupted).
 * ``GET /healthz`` — liveness.
@@ -40,7 +45,7 @@ from typing import Any, Optional
 from urllib.parse import parse_qs
 
 from repro.analysis import benchcache, calibcache
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, DeadlineExceededError, ReproError
 from repro.scenario.runner import calibration_key
 from repro.service import jobs as jobstates
 from repro.service.jobs import Job, JobTable, canonical_spec, spec_key
@@ -98,9 +103,14 @@ class ScenarioService:
         registry: Any = None,
         history_limit: int = 256,
         latency_capacity: int = 512,
+        max_retries: int = 1,
     ) -> None:
         self.pool = ResidentPool(
-            workers=workers, queue_limit=queue_limit, mode=mode, registry=registry
+            workers=workers,
+            queue_limit=queue_limit,
+            mode=mode,
+            registry=registry,
+            max_retries=max_retries,
         )
         self.registry = registry
         self.jobs = JobTable(history_limit=history_limit)
@@ -250,8 +260,18 @@ class ScenarioService:
         try:
             priority = int(query.get("priority", "0"))
             timeout = float(query["timeout"]) if "timeout" in query else None
+            deadline = (
+                float(query["deadline"]) if "deadline" in query else None
+            )
+            max_retries = (
+                int(query["max_retries"]) if "max_retries" in query else None
+            )
         except ValueError as exc:
             raise _HttpError(400, f"bad query parameter: {exc}") from None
+        if deadline is not None and deadline <= 0:
+            raise _HttpError(400, "deadline must be > 0 seconds")
+        if max_retries is not None and max_retries < 0:
+            raise _HttpError(400, "max_retries must be >= 0")
         wait = query.get("wait", "1").lower() not in ("0", "false", "no")
         try:
             spec = canonical_spec(payload)
@@ -267,7 +287,11 @@ class ScenarioService:
             job = self.jobs.create(spec, key, priority)
             job.done = asyncio.Event()
             try:
-                job.ticket = self.pool.submit(spec, priority)
+                # Deduplicated followers share the first request's
+                # deadline/retry budget along with its result.
+                job.ticket = self.pool.submit(
+                    spec, priority, deadline=deadline, max_retries=max_retries
+                )
             except PoolSaturatedError as exc:
                 self.jobs.discard(job)
                 self.jobs.counters["rejected"] += 1
@@ -304,7 +328,12 @@ class ScenarioService:
             if exc is None:
                 self.jobs.mark_done(job, fut.result())
             else:
-                status = 400 if isinstance(exc, ConfigurationError) else 500
+                if isinstance(exc, ConfigurationError):
+                    status = 400
+                elif isinstance(exc, DeadlineExceededError):
+                    status = 504
+                else:
+                    status = 500
                 self.jobs.mark_failed(job, str(exc), status)
             self.latency.add(job.latency_s)
         job.done.set()
@@ -357,6 +386,11 @@ class ScenarioService:
                 "inflight_jobs": self.jobs.inflight_count,
             },
             "counters": {**self.jobs.counters, "executed": self.pool.executed},
+            "faults": {
+                "crashes": self.pool.crashes,
+                "retries": self.pool.retries,
+                "deadline_kills": self.pool.deadline_kills,
+            },
             "cache": {
                 "calibration_entries": len(calibcache.entries()),
                 "kernelbench_entries": len(benchcache.entries()),

@@ -20,7 +20,12 @@ class TestEndpoints:
     def test_stats_shape(self, make_service):
         _, client = make_service()
         stats = client.stats()
-        assert set(stats) == {"server", "queue", "counters", "cache", "latency"}
+        assert set(stats) == {
+            "server", "queue", "counters", "cache", "latency", "faults",
+        }
+        assert stats["faults"] == {
+            "crashes": 0, "retries": 0, "deadline_kills": 0,
+        }
         assert stats["server"]["pool_mode"] == "thread"
         assert stats["server"]["workers"] == 2
         assert stats["queue"] == {"depth": 0, "active": 0, "inflight_jobs": 0}
