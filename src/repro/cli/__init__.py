@@ -22,6 +22,9 @@ Commands
   resident worker pool with in-flight dedup and 429 backpressure.
 * ``trend`` — render nightly benchmark artifacts into a static trend
   page; ``--alert-threshold`` gates on first→last regressions.
+* ``check`` — AST-based invariant linter enforcing the project's
+  determinism, import-hygiene, concurrency and registry/spec/docs
+  contracts (see ``docs/staticcheck.md``).
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.cli.apps import (
     add_sort_parser,
     add_stencil_parser,
 )
+from repro.cli.check import add_check_parser
 from repro.cli.scenarios import add_run_parser, add_scenarios_parser
 from repro.cli.server import add_server_parser
 from repro.cli.service import add_serve_parser
@@ -74,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_server_parser(sub)
     add_serve_parser(sub)
     add_trend_parser(sub)
+    add_check_parser(sub)
     return parser
 
 

@@ -67,6 +67,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(_serve(args))
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port: readers never see a partial file."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(str(port))
+    os.replace(tmp, path)
+
+
 async def _serve(args: argparse.Namespace) -> int:
     from repro.service.server import ScenarioService
 
@@ -79,10 +87,8 @@ async def _serve(args: argparse.Namespace) -> int:
     )
     await service.start(args.host, args.port)
     if args.port_file:
-        tmp = f"{args.port_file}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(str(service.port))
-        os.replace(tmp, args.port_file)  # atomic: readers never see a partial file
+        # File I/O blocks the event loop (REP-C001): do it on a thread.
+        await asyncio.to_thread(_write_port_file, args.port_file, service.port)
     print(
         f"repro serve: listening on {service.host}:{service.port} "
         f"({service.pool.mode} pool, {service.pool.workers} workers, "

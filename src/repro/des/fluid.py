@@ -733,7 +733,15 @@ class FluidPool:
         # to a few ulps of ``now`` overruns true completion by a relatively
         # negligible amount and keeps progress strictly monotone.
         min_step = max(_COMPLETION_ATOL, abs(now) * 1e-15)
-        self._event = self.kernel.schedule(max(top[0] - now, min_step), self._on_horizon)
+        # Schedule at the *absolute* horizon, not by delay: ``now +
+        # (finish - now)`` is not bit-equal to ``finish``, so a delay-based
+        # event time would depend on when the last reschedule happened —
+        # i.e. on what other tasks share the pool — breaking the
+        # shard-partitioning determinism contract (a job's trajectory must
+        # not depend on its pool-mates' event times).
+        self._event = self.kernel.schedule_at(
+            max(top[0], now + min_step), self._on_horizon
+        )
 
     def _on_horizon(self) -> None:
         self._event = None

@@ -1,0 +1,86 @@
+"""REP-I: optional-import hygiene rules on fixture modules."""
+
+from repro.staticcheck import DEFAULT_CONFIG, run_check
+from repro.staticcheck.rules_imports import IMPORT_RULES
+
+GUARDED = (
+    "try:\n"
+    "    import numpy as np\n"
+    "except ImportError:\n"
+    "    np = None\n"
+)
+
+
+def findings(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    result = run_check(
+        [tmp_path], IMPORT_RULES, config=DEFAULT_CONFIG, root=tmp_path
+    )
+    return [f.rule_id for f in result.findings]
+
+
+class TestOptionalImportGuard:
+    def test_unguarded_numpy_fires(self, tmp_path):
+        assert findings(tmp_path, "core.py", "import numpy as np\n") == [
+            "REP-I001"
+        ]
+
+    def test_unguarded_scipy_from_import_fires(self, tmp_path):
+        src = "from scipy.sparse import csr_matrix\n"
+        assert findings(tmp_path, "core.py", src) == ["REP-I001"]
+
+    def test_guarded_import_is_fine(self, tmp_path):
+        assert findings(tmp_path, "core.py", GUARDED) == []
+
+    def test_type_checking_import_is_fine(self, tmp_path):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    import numpy as np\n"
+        )
+        assert findings(tmp_path, "core.py", src) == []
+
+    def test_soa_module_is_exempt(self, tmp_path):
+        src = "import numpy as np\n"
+        assert findings(tmp_path, "netmodel/soa.py", src) == []
+
+    def test_stdlib_import_is_fine(self, tmp_path):
+        assert findings(tmp_path, "core.py", "import json\n") == []
+
+
+class TestOptionalGuardShape:
+    def test_work_inside_try_fires(self, tmp_path):
+        src = (
+            "try:\n"
+            "    import numpy as np\n"
+            "    EYE = np.eye(3)\n"
+            "except ImportError:\n"
+            "    np = None\n"
+        )
+        assert findings(tmp_path, "core.py", src) == ["REP-I002"]
+
+    def test_call_in_fallback_fires(self, tmp_path):
+        src = (
+            "try:\n"
+            "    import numpy as np\n"
+            "except ImportError:\n"
+            "    print('no numpy')\n"
+            "    np = None\n"
+        )
+        assert findings(tmp_path, "core.py", src) == ["REP-I002"]
+
+    def test_canonical_guard_is_fine(self, tmp_path):
+        assert findings(tmp_path, "core.py", GUARDED) == []
+
+    def test_non_optional_guard_is_ignored(self, tmp_path):
+        # try/except ImportError around a *project* module is out of scope.
+        src = (
+            "try:\n"
+            "    from repro.util import thing\n"
+            "    thing()\n"
+            "except ImportError:\n"
+            "    thing = None\n"
+        )
+        assert findings(tmp_path, "core.py", src) == []
